@@ -1,0 +1,150 @@
+// §V text: google-benchmark N-sweep of the derivative kernels over the
+// paper's order range ("with N ranging between 5 and 25") and the mxm /
+// dealiasing building blocks.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "kernels/div.hpp"
+#include "kernels/gradient.hpp"
+#include "kernels/mxm.hpp"
+#include "kernels/tensor.hpp"
+#include "sem/operators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using cmtbone::kernels::GradVariant;
+
+struct Workload {
+  cmtbone::sem::Operators op;
+  std::vector<double> u, out;
+  int nel;
+
+  Workload(int n, int nel_in) : op(cmtbone::sem::Operators::build(n)), nel(nel_in) {
+    const std::size_t pts = std::size_t(n) * n * n * nel;
+    u.resize(pts);
+    out.resize(pts);
+    cmtbone::util::SplitMix64 rng(5);
+    for (double& x : u) x = rng.uniform(-1, 1);
+  }
+};
+
+void bench_grad(benchmark::State& state, GradVariant v, int dir) {
+  const int n = int(state.range(0));
+  const int nel = 32;
+  Workload w(n, nel);
+  for (auto _ : state) {
+    switch (dir) {
+      case 0:
+        cmtbone::kernels::grad_r(v, w.op.d.data(), w.u.data(), w.out.data(), n,
+                                 nel);
+        break;
+      case 1:
+        cmtbone::kernels::grad_s(v, w.op.d.data(), w.u.data(), w.out.data(), n,
+                                 nel);
+        break;
+      default:
+        cmtbone::kernels::grad_t(v, w.op.d.data(), w.u.data(), w.out.data(), n,
+                                 nel);
+    }
+    benchmark::DoNotOptimize(w.out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          cmtbone::kernels::grad_flops(n, nel));
+}
+
+void GradBasicR(benchmark::State& s) { bench_grad(s, GradVariant::kBasic, 0); }
+void GradBasicS(benchmark::State& s) { bench_grad(s, GradVariant::kBasic, 1); }
+void GradBasicT(benchmark::State& s) { bench_grad(s, GradVariant::kBasic, 2); }
+void GradTunedR(benchmark::State& s) {
+  bench_grad(s, GradVariant::kFusedUnrolled, 0);
+}
+void GradTunedS(benchmark::State& s) {
+  bench_grad(s, GradVariant::kFusedUnrolled, 1);
+}
+void GradTunedT(benchmark::State& s) {
+  bench_grad(s, GradVariant::kFusedUnrolled, 2);
+}
+void GradBlockedR(benchmark::State& s) {
+  bench_grad(s, GradVariant::kBlocked, 0);
+}
+
+void Div3Fused(benchmark::State& state) {
+  const int n = int(state.range(0));
+  const int nel = 32;
+  Workload w(n, nel);
+  std::vector<double> fy = w.u, fz = w.u;
+  for (auto _ : state) {
+    cmtbone::kernels::div3(w.op.d.data(), w.u.data(), fy.data(), fz.data(),
+                           w.out.data(), n, nel, 1.0, 1.0, 1.0,
+                           /*fused=*/true);
+    benchmark::DoNotOptimize(w.out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          cmtbone::kernels::div3_flops(n, nel));
+}
+
+void Div3ThreeSweeps(benchmark::State& state) {
+  const int n = int(state.range(0));
+  const int nel = 32;
+  Workload w(n, nel);
+  std::vector<double> fy = w.u, fz = w.u, work(w.u.size());
+  for (auto _ : state) {
+    cmtbone::kernels::div3(w.op.d.data(), w.u.data(), fy.data(), fz.data(),
+                           w.out.data(), n, nel, 1.0, 1.0, 1.0,
+                           /*fused=*/false, work.data());
+    benchmark::DoNotOptimize(w.out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          cmtbone::kernels::div3_flops(n, nel));
+}
+
+void Mxm(benchmark::State& state) {
+  const int n = int(state.range(0));
+  std::vector<double> a(std::size_t(n) * n), b(std::size_t(n) * n * n),
+      c(std::size_t(n) * n * n);
+  cmtbone::util::SplitMix64 rng(6);
+  for (double& x : a) x = rng.uniform(-1, 1);
+  for (double& x : b) x = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    cmtbone::kernels::mxm(a.data(), n, b.data(), n, c.data(), n * n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          cmtbone::kernels::mxm_flops(n, n, n * n));
+}
+
+void DealiasRoundTrip(benchmark::State& state) {
+  const int n = int(state.range(0));
+  auto op = cmtbone::sem::Operators::build(n);
+  const int m = op.m;
+  std::vector<double> u(std::size_t(n) * n * n),
+      fine(std::size_t(m) * m * m), back(u.size()),
+      work(cmtbone::kernels::tensor_work_size(m, m));
+  cmtbone::util::SplitMix64 rng(7);
+  for (double& x : u) x = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    cmtbone::kernels::dealias_roundtrip(op.interp.data(), op.interp_t.data(),
+                                        m, n, u.data(), fine.data(),
+                                        back.data(), work.data());
+    benchmark::DoNotOptimize(back.data());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(GradBasicR)->DenseRange(5, 25, 5);
+BENCHMARK(GradBasicS)->DenseRange(5, 25, 5);
+BENCHMARK(GradBasicT)->DenseRange(5, 25, 5);
+BENCHMARK(GradTunedR)->DenseRange(5, 25, 5);
+BENCHMARK(GradTunedS)->DenseRange(5, 25, 5);
+BENCHMARK(GradTunedT)->DenseRange(5, 25, 5);
+BENCHMARK(GradBlockedR)->DenseRange(5, 25, 5);
+BENCHMARK(Div3Fused)->DenseRange(5, 25, 10);
+BENCHMARK(Div3ThreeSweeps)->DenseRange(5, 25, 10);
+BENCHMARK(Mxm)->DenseRange(5, 25, 5);
+BENCHMARK(DealiasRoundTrip)->DenseRange(5, 25, 10);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// §VI extension: LogGP-predicted algorithm costs on notional machines, and
+// the pairwise/crystal-router crossover scale.
+//
+// The paper's motivation for communication profiling is "building robust
+// network models for system simulation" of future architectures. This
+// bench is purely analytic: it feeds the Fig. 7 problem shape into the
+// LogGP model at increasing rank counts on three machine presets and
+// reports each algorithm's predicted cost and the crossover point.
+
+#include <cmath>
+#include <cstdio>
+
+#include "netmodel/loggp.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cmtbone;
+
+// Per-rank exchange shape of the Fig. 7 workload at P ranks: a rank owns a
+// block of elements whose surface scales like (elements/rank)^(2/3); the
+// pairwise neighbor set on a 3-D Cartesian partition includes faces, edges
+// and corners (26 at scale).
+netmodel::ExchangeShape fig7_shape(int p, int n, int elems_per_rank) {
+  netmodel::ExchangeShape s;
+  s.ranks = p;
+  s.neighbors = p >= 27 ? 26 : p - 1;
+  double side = std::cbrt(double(elems_per_rank));
+  double shared_points = 6.0 * side * side * double(n) * double(n);
+  s.pairwise_bytes = (long long)(shared_points * 8.0);
+  s.crystal_records = (long long)(shared_points);
+  // all_reduce's big vector spans the whole global id space:
+  // ~ (n-1)^3 distinct points per element, weak-scaled by P.
+  double pts_per_elem = double(n - 1) * (n - 1) * (n - 1);
+  s.big_vector_bytes =
+      (long long)(pts_per_elem * double(elems_per_rank) * 8.0) * p;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  cli.describe("n", "GLL points per direction (default 10)")
+      .describe("elems-per-rank", "elements per rank (default 100)");
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  cli.reject_unknown();
+
+  const int n = cli.get_int("n", 10);
+  const int epr = cli.get_int("elems-per-rank", 100);
+
+  std::printf(
+      "=== LogGP model: predicted gs_op cost vs scale (Fig. 7 shape) ===\n"
+      "N=%d, %d elements/rank (weak scaling)\n\n",
+      n, epr);
+
+  for (const auto& machine :
+       {netmodel::qdr_infiniband(), netmodel::ethernet_10g(),
+        netmodel::notional_exascale()}) {
+    util::Table table({"ranks", "pairwise (s)", "crystal (s)",
+                       "all_reduce (s)", "model pick"});
+    table.set_title("machine: " + machine.name);
+    for (int p = 64; p <= 1 << 20; p *= 8) {
+      auto shape = fig7_shape(p, n, epr);
+      auto pred = netmodel::predict_all(machine, shape);
+      table.add_row({std::to_string(p), util::Table::sci(pred.pairwise, 3),
+                     util::Table::sci(pred.crystal, 3),
+                     util::Table::sci(pred.allreduce, 3), pred.best()});
+    }
+    std::printf("%s", table.str().c_str());
+
+    int crossover = netmodel::crossover_ranks(
+        machine, 1 << 22, [&](int p) { return fig7_shape(p, n, epr); });
+    if (crossover > 0) {
+      std::printf("crystal router first beats pairwise at P = %d\n\n",
+                  crossover);
+    } else {
+      std::printf("pairwise exchange wins at every modeled scale "
+                  "(nearest-neighbor pattern)\n\n");
+    }
+  }
+
+  std::printf("(paper: at 256 ranks on QDR InfiniBand, pairwise won for\n"
+              " CMT-bone and all_reduce was too expensive for both apps)\n");
+  return 0;
+}

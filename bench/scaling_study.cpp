@@ -1,0 +1,118 @@
+// Scaling study: strong and weak scaling of the CMT-bone step.
+//
+// The paper's co-design context is scaling behavior ("Understanding the
+// size, frequency, average distance etc. of these communication routines is
+// important for improving the scaling behavior of the software"). This
+// bench sweeps rank counts in strong (fixed global problem) and weak
+// (fixed per-rank problem) modes and reports per-step times and parallel
+// efficiency.
+//
+// NOTE: ranks are threads sharing this machine's cores; on a single core
+// the wall-clock "speedup" is bounded by 1 and the interesting output is
+// the overhead growth — on a real cluster the same harness measures true
+// scaling.
+//
+// Usage: scaling_study [--max-ranks 16] [--n 8] [--steps 2]
+
+#include <cstdio>
+
+#include "comm/runtime.hpp"
+#include "core/driver.hpp"
+#include "prof/timer.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cmtbone;
+
+double time_per_step(int ranks, const core::Config& cfg, int steps) {
+  double seconds = 0.0;
+  comm::run(ranks, [&](comm::Comm& world) {
+    core::Driver driver(world, cfg);
+    driver.initialize(driver.default_ic());
+    driver.step();  // warm-up step (first-touch, gs plans)
+    world.barrier();
+    prof::WallTimer t;
+    driver.run(steps);
+    world.barrier();
+    if (world.rank() == 0) seconds = t.seconds() / steps;
+  });
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  cli.describe("max-ranks", "largest rank count (default 16)")
+      .describe("n", "GLL points per direction (default 8)")
+      .describe("steps", "timed steps per point (default 2)");
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  cli.reject_unknown();
+
+  const int max_ranks = cli.get_int("max-ranks", 16);
+  const int n = cli.get_int("n", 8);
+  const int steps = cli.get_int("steps", 2);
+
+  std::printf("=== CMT-bone scaling study (threads on this host) ===\n\n");
+
+  // Strong scaling: fixed 8x8x4 global element grid.
+  {
+    util::Table table({"ranks", "proc grid", "time/step (s)", "vs 1 rank",
+                       "parallel efficiency"});
+    table.set_title("Strong scaling: 8x8x4 elements, N=" + std::to_string(n));
+    double t1 = 0.0;
+    for (int p = 1; p <= max_ranks; p *= 2) {
+      auto grid = mesh::BoxSpec::default_proc_grid(p);
+      core::Config cfg;
+      cfg.n = n;
+      cfg.ex = 8;
+      cfg.ey = 8;
+      cfg.ez = 4;
+      cfg.px = grid[0];
+      cfg.py = grid[1];
+      cfg.pz = grid[2];
+      double t = time_per_step(p, cfg, steps);
+      if (p == 1) t1 = t;
+      char grid_str[32];
+      std::snprintf(grid_str, sizeof grid_str, "%dx%dx%d", grid[0], grid[1],
+                    grid[2]);
+      table.add_row({std::to_string(p), grid_str, util::Table::sci(t, 3),
+                     util::Table::num(t1 / t, 2),
+                     util::Table::pct(t1 / t / p)});
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+
+  // Weak scaling: 8 elements per rank.
+  {
+    util::Table table(
+        {"ranks", "global elements", "time/step (s)", "weak efficiency"});
+    table.set_title("Weak scaling: 2x2x2 elements per rank, N=" +
+                    std::to_string(n));
+    double t1 = 0.0;
+    for (int p = 1; p <= max_ranks; p *= 2) {
+      auto grid = mesh::BoxSpec::default_proc_grid(p);
+      core::Config cfg;
+      cfg.n = n;
+      cfg.px = grid[0];
+      cfg.py = grid[1];
+      cfg.pz = grid[2];
+      cfg.ex = 2 * grid[0];
+      cfg.ey = 2 * grid[1];
+      cfg.ez = 2 * grid[2];
+      double t = time_per_step(p, cfg, steps);
+      if (p == 1) t1 = t;
+      char elems[32];
+      std::snprintf(elems, sizeof elems, "%dx%dx%d", cfg.ex, cfg.ey, cfg.ez);
+      table.add_row({std::to_string(p), elems, util::Table::sci(t, 3),
+                     util::Table::pct(t1 / t)});
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+  return 0;
+}

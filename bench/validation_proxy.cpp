@@ -1,0 +1,108 @@
+// Mini-app validation: does the proxy track the "full" application?
+//
+// The paper stresses (§II) that a mini-app must be validated against its
+// parent: "A verification and validation methodology for identifying and
+// understanding this relationship". Here the stand-in for the parent is
+// this library's full Euler solve (nonlinear fluxes, wavespeed-dependent
+// numerical flux), and the proxy is CMT-bone's abstraction (linear fluxes,
+// same kernel and exchange structure). The bench profiles both and compares
+// where the time goes — the proxy is faithful if the *distribution* across
+// kernels matches even when absolute times differ.
+//
+// Usage: validation_proxy [--ranks 4] [--n 10] [--elems 4] [--steps 5]
+
+#include <cstdio>
+#include <map>
+
+#include "comm/runtime.hpp"
+#include "core/driver.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cmtbone;
+
+std::map<std::string, double> kernel_shares(int ranks,
+                                            const core::Config& cfg,
+                                            int steps) {
+  std::vector<prof::CallProfile> profiles;
+  comm::RunOptions opts;
+  opts.call_profiles = &profiles;
+  comm::run(ranks, [&](comm::Comm& world) {
+    core::Driver driver(world, cfg);
+    driver.initialize(driver.default_ic());
+    driver.run(steps);
+  }, opts);
+
+  prof::CallProfile merged;
+  for (const auto& p : profiles) merged.merge(p);
+  double total = merged.total_seconds();
+  std::map<std::string, double> shares;
+  for (const auto& entry : merged.flat()) {
+    shares[entry.name] = total > 0 ? entry.exclusive / total : 0.0;
+  }
+  return shares;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  cli.describe("ranks", "number of ranks (default 4)")
+      .describe("n", "GLL points per direction (default 10)")
+      .describe("elems", "global elements per direction (default 4)")
+      .describe("steps", "time steps (default 5)");
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  cli.reject_unknown();
+
+  const int ranks = cli.get_int("ranks", 4);
+  const int steps = cli.get_int("steps", 5);
+
+  core::Config proxy;
+  proxy.physics = core::Physics::kProxyAdvection;
+  proxy.n = cli.get_int("n", 10);
+  proxy.ex = proxy.ey = proxy.ez = cli.get_int("elems", 4);
+  proxy.use_dssum = true;
+
+  core::Config full = proxy;
+  full.physics = core::Physics::kEuler;
+  full.use_dssum = false;  // the compressible solver is pure DG
+  full.cfl = 0.2;
+
+  std::printf(
+      "=== Mini-app validation: proxy vs full-physics kernel profile ===\n"
+      "%d ranks, N=%d, %dx%dx%d elements, %d steps each\n\n",
+      ranks, proxy.n, proxy.ex, proxy.ey, proxy.ez, steps);
+
+  auto proxy_shares = kernel_shares(ranks, proxy, steps);
+  auto full_shares = kernel_shares(ranks, full, steps);
+
+  util::Table table({"kernel", "proxy % of time", "full (Euler) % of time",
+                     "abs diff"});
+  std::map<std::string, int> all_keys;
+  for (const auto& [k, v] : proxy_shares) all_keys[k] = 1;
+  for (const auto& [k, v] : full_shares) all_keys[k] = 1;
+  double max_diff = 0.0;
+  for (const auto& [key, unused] : all_keys) {
+    (void)unused;
+    double a = proxy_shares.count(key) ? proxy_shares.at(key) : 0.0;
+    double b = full_shares.count(key) ? full_shares.at(key) : 0.0;
+    // dssum only exists in the proxy; skip structural differences.
+    if (key.find("dssum") != std::string::npos) continue;
+    max_diff = std::max(max_diff, std::abs(a - b));
+    table.add_row({key, util::Table::pct(a), util::Table::pct(b),
+                   util::Table::pct(std::abs(a - b))});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "largest per-kernel share difference: %.1f%%\n"
+      "(the proxy is a faithful performance model where the shared kernels'\n"
+      " shares track; the Euler path shifts weight toward pointwise flux\n"
+      " evaluation, which the paper's future CMT-bone versions would absorb)\n",
+      100 * max_diff);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Kernel tuning playground: sweep the derivative-kernel loop
+// transformations across polynomial orders.
+//
+// Reproduces the paper's §V study interactively: for each N in the paper's
+// range and each variant, time dudr/duds/dudt and report speedups over the
+// basic implementation.
+//
+// Usage: kernel_tuning [--nel 64] [--reps 20] [--nmin 5] [--nmax 13]
+
+#include <cstdio>
+#include <vector>
+
+#include "kernels/gradient.hpp"
+#include "prof/timer.hpp"
+#include "sem/operators.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double time_variant(cmtbone::kernels::GradVariant v, int dir, const double* d,
+                    const double* u, double* out, int n, int nel, int reps) {
+  using namespace cmtbone::kernels;
+  // Warm up once, then time.
+  auto call = [&] {
+    switch (dir) {
+      case 0: grad_r(v, d, u, out, n, nel); break;
+      case 1: grad_s(v, d, u, out, n, nel); break;
+      default: grad_t(v, d, u, out, n, nel); break;
+    }
+  };
+  call();
+  cmtbone::prof::WallTimer t;
+  for (int r = 0; r < reps; ++r) call();
+  return t.seconds() / reps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cmtbone;
+
+  util::Cli cli(argc, argv);
+  cli.describe("nel", "elements (default 64)")
+      .describe("reps", "repetitions per timing (default 20)")
+      .describe("nmin", "smallest N (default 5)")
+      .describe("nmax", "largest N (default 13)");
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  cli.reject_unknown();
+
+  const int nel = cli.get_int("nel", 64);
+  const int reps = cli.get_int("reps", 20);
+  const int nmin = cli.get_int("nmin", 5);
+  const int nmax = cli.get_int("nmax", 13);
+
+  const char* dirs[] = {"dudr", "duds", "dudt"};
+
+  for (int n = nmin; n <= nmax; n += 4) {
+    auto op = sem::Operators::build(n);
+    const std::size_t pts = std::size_t(n) * n * n * nel;
+    std::vector<double> u(pts), out(pts);
+    util::SplitMix64 rng(2024);
+    for (double& x : u) x = rng.uniform(-1, 1);
+
+    util::Table table({"variant", "dudr (us)", "duds (us)", "dudt (us)",
+                       "speedup r", "speedup s", "speedup t"});
+    table.set_title("N = " + std::to_string(n) + ", " + std::to_string(nel) +
+                    " elements");
+    double base[3] = {0, 0, 0};
+    for (auto v : kernels::all_variants()) {
+      double t[3];
+      for (int dir = 0; dir < 3; ++dir) {
+        t[dir] = time_variant(v, dir, op.d.data(), u.data(), out.data(), n,
+                              nel, reps);
+        if (v == kernels::GradVariant::kBasic) base[dir] = t[dir];
+      }
+      table.add_row({kernels::variant_name(v), util::Table::num(t[0] * 1e6, 1),
+                     util::Table::num(t[1] * 1e6, 1),
+                     util::Table::num(t[2] * 1e6, 1),
+                     util::Table::num(base[0] / t[0], 2),
+                     util::Table::num(base[1] / t[1], 2),
+                     util::Table::num(base[2] / t[2], 2)});
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+  std::printf("(directions: %s=first index, %s=middle, %s=last; the middle\n"
+              "contraction resists fusion, as the paper observes for duds)\n",
+              dirs[0], dirs[1], dirs[2]);
+  return 0;
+}

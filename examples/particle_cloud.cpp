@@ -1,0 +1,116 @@
+// Tracer-particle cloud in a compressible flow.
+//
+// Exercises the Lagrangian point-particle path (the capability the paper
+// schedules for CMT-nek): a cloud of tracers seeded in an Euler flow is
+// advected by the interpolated velocity field, migrating between ranks via
+// the crystal router. Prints cloud statistics over time and can dump the
+// final cloud as VTK.
+//
+// Usage: particle_cloud [--ranks 4] [--n 5] [--elems 2] [--steps 15]
+//                       [--particles 50] [--vtk cloud.vtk]
+
+#include <cmath>
+#include <cstdio>
+
+#include "comm/runtime.hpp"
+#include "core/driver.hpp"
+#include "io/vtk.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmtbone;
+
+  util::Cli cli(argc, argv);
+  cli.describe("ranks", "number of ranks (default 4)")
+      .describe("n", "GLL points per direction (default 5)")
+      .describe("elems", "global elements per direction (default 2)")
+      .describe("steps", "time steps (default 15)")
+      .describe("particles", "tracer particles per rank (default 50)")
+      .describe("vtk", "write the final cloud to this VTK file");
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  cli.reject_unknown();
+
+  const int ranks = cli.get_int("ranks", 4);
+  const int steps = cli.get_int("steps", 15);
+  const std::string vtk = cli.get("vtk", "");
+
+  core::Config cfg;
+  cfg.physics = core::Physics::kEuler;
+  cfg.n = cli.get_int("n", 5);
+  cfg.ex = cfg.ey = cfg.ez = cli.get_int("elems", 2);
+  cfg.cfl = 0.25;
+  cfg.use_dssum = false;
+  cfg.velocity = {0.4, 0.2, 0.0};
+  cfg.particles_per_rank = cli.get_int("particles", 50);
+
+  util::Table table({"step", "time", "particles", "migrated/step",
+                     "mean x", "mean y", "spread"});
+  table.set_title("Tracer cloud in an Euler flow");
+
+  comm::run(ranks, [&](comm::Comm& world) {
+    core::Driver driver(world, cfg);
+    driver.initialize(driver.default_ic());
+    auto* tracker = driver.tracker();
+
+    auto stats = [&](int step, long migrated) {
+      // Cloud centroid and RMS spread (collective).
+      double sx = 0, sy = 0, sxx = 0;
+      for (const auto& p : tracker->particles()) {
+        sx += p.x;
+        sy += p.y;
+        sxx += p.x * p.x + p.y * p.y + p.z * p.z;
+      }
+      long long count = tracker->total_count();
+      sx = world.allreduce_one(sx, comm::ReduceOp::kSum) / count;
+      sy = world.allreduce_one(sy, comm::ReduceOp::kSum) / count;
+      sxx = world.allreduce_one(sxx, comm::ReduceOp::kSum) / count;
+      long total_migrated =
+          (long)world.allreduce_one(double(migrated), comm::ReduceOp::kSum);
+      if (world.rank() == 0) {
+        table.add_row({std::to_string(step), util::Table::num(driver.time(), 4),
+                       std::to_string(count), std::to_string(total_migrated),
+                       util::Table::num(sx, 4), util::Table::num(sy, 4),
+                       util::Table::num(std::sqrt(sxx), 4)});
+      }
+    };
+
+    stats(0, 0);
+    for (int block = 0; block < 3; ++block) {
+      long migrated = 0;
+      int block_steps = steps / 3;
+      for (int s = 0; s < block_steps; ++s) {
+        driver.step();
+        migrated += long(tracker->last_migrated());
+      }
+      stats((block + 1) * block_steps, migrated / std::max(block_steps, 1));
+    }
+
+    if (!vtk.empty()) {
+      // Gather the whole cloud to rank 0 and dump it.
+      auto all = world.gatherv(
+          std::span<const particles::Particle>(tracker->particles()), 0,
+          nullptr);
+      if (world.rank() == 0) {
+        std::vector<double> ids(all.size());
+        for (std::size_t i = 0; i < all.size(); ++i) ids[i] = double(all[i].id);
+        io::write_vtk_points(
+            vtk, all.size(),
+            [&](std::size_t i) {
+              return std::array<double, 3>{all[i].x, all[i].y, all[i].z};
+            },
+            {{"particle_id", std::span<const double>(ids)}});
+        std::printf("wrote %zu particles to %s\n", all.size(), vtk.c_str());
+      }
+    }
+  });
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf("The population stays constant while particles migrate between\n"
+              "ranks (crystal-router transport), and the centroid drifts with\n"
+              "the carrier flow.\n");
+  return 0;
+}

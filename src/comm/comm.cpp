@@ -1,0 +1,362 @@
+#include "comm/comm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+
+namespace cmtbone::comm {
+
+// ---- SiteScope -------------------------------------------------------------
+
+namespace {
+thread_local std::string t_site;
+}
+
+SiteScope::SiteScope(std::string site) : previous_(t_site) {
+  t_site = std::move(site);
+}
+
+SiteScope::~SiteScope() { t_site = previous_; }
+
+const std::string& SiteScope::current() { return t_site; }
+
+// ---- construction ----------------------------------------------------------
+
+Comm::Comm(Universe& universe, int rank)
+    : uni_(&universe), ctx_(0), rank_(rank) {
+  group_.resize(universe.size());
+  g2l_.resize(universe.size());
+  for (int r = 0; r < universe.size(); ++r) {
+    group_[r] = r;
+    g2l_[r] = r;
+  }
+}
+
+Comm::Comm(Universe& universe, int ctx, std::vector<int> group, int my_index)
+    : uni_(&universe), ctx_(ctx), rank_(my_index), group_(std::move(group)) {
+  g2l_.assign(universe.size(), -1);
+  for (int r = 0; r < int(group_.size()); ++r) g2l_[group_[r]] = r;
+}
+
+int Comm::local_of_global(int global) const {
+  assert(global >= 0 && global < int(g2l_.size()));
+  int local = g2l_[global];
+  assert(local >= 0 && "message from a rank outside this communicator");
+  return local;
+}
+
+// ---- profiling --------------------------------------------------------------
+
+void Comm::record(const char* op, double seconds, long long bytes,
+                  int global_peer, int tag) const {
+  prof::CommProfiler* prof = uni_->profiler();
+  if (prof != nullptr) {
+    const std::string& site = SiteScope::current();
+    if (site.empty()) {
+      prof->record(group_[rank_], op, seconds, bytes);
+    } else {
+      prof->record(group_[rank_], site + "/" + op, seconds, bytes);
+    }
+  }
+
+  trace::Tracer* tracer = uni_->tracer();
+  if (tracer != nullptr) {
+    const double t_end = tracer->now();
+    const double t_start = t_end - seconds;
+    const int me = group_[rank_];
+    if (std::strcmp(op, "MPI_Send") == 0 || std::strcmp(op, "MPI_Isend") == 0) {
+      tracer->on_send(me, global_peer, tag, bytes, t_start, t_end);
+    } else if (std::strcmp(op, "MPI_Sendrecv") == 0) {
+      // The receive half is traced separately by the caller.
+      tracer->on_send(me, global_peer, tag, bytes, t_start, t_end);
+    } else if (std::strcmp(op, "MPI_Recv") == 0) {
+      tracer->on_recv(me, global_peer, tag, bytes, t_start, t_end);
+    } else if (std::strcmp(op, "MPI_Wait") == 0 ||
+               std::strcmp(op, "MPI_Waitall") == 0 ||
+               std::strcmp(op, "MPI_Test") == 0 ||
+               std::strcmp(op, "MPI_Irecv") == 0 ||
+               std::strcmp(op, "MPI_Iprobe") == 0 ||
+               std::strcmp(op, "MPI_Probe") == 0) {
+      // Waits are traced per matched receive (see wait/waitall).
+    } else {
+      tracer->on_collective(me, op, bytes, t_start, t_end);
+    }
+  }
+}
+
+// ---- raw (unprofiled) p2p ---------------------------------------------------
+
+void Comm::send_raw(const void* buf, std::size_t bytes, int dest, int tag) {
+  uni_->check_abort();
+  assert(dest >= 0 && dest < size());
+  Envelope env;
+  env.ctx = ctx_;
+  env.src = group_[rank_];
+  env.tag = tag;
+  const auto* p = static_cast<const std::byte*>(buf);
+  env.payload.assign(p, p + bytes);
+  uni_->mailbox(group_[dest]).deliver(std::move(env));
+}
+
+Request Comm::post_recv_raw(void* buf, std::size_t capacity, int src, int tag) {
+  uni_->check_abort();
+  int global_src = src == kAnySource ? kAnySource : group_.at(src);
+  return my_box().post_recv(ctx_, global_src, tag, buf, capacity);
+}
+
+Status Comm::wait_raw(const Request& req) {
+  // Block on the poster's mailbox; job-aware so a crashed peer or a
+  // provable deadlock unwinds this rank instead of hanging it.
+  return my_box().wait(req, uni_);
+}
+
+// ---- profiled p2p -----------------------------------------------------------
+
+void Comm::send_bytes(const void* buf, std::size_t bytes, int dest, int tag) {
+  assert(tag >= 0 && tag < kCollectiveTagBase && "user tags must stay below kCollectiveTagBase");
+  prof::WallTimer t;
+  send_raw(buf, bytes, dest, tag);
+  record("MPI_Send", t.seconds(), (long long)bytes, group_[dest], tag);
+}
+
+Request Comm::isend_bytes(const void* buf, std::size_t bytes, int dest, int tag) {
+  assert(tag >= 0 && tag < kCollectiveTagBase);
+  prof::WallTimer t;
+  // Eager/buffered: the payload is copied out immediately, so the returned
+  // request is already complete (matches MPI_Isend + instant MPI_Wait for
+  // small messages on a real fabric).
+  send_raw(buf, bytes, dest, tag);
+  record("MPI_Isend", t.seconds(), (long long)bytes, group_[dest], tag);
+  auto rs = std::make_shared<RequestState>();
+  rs->done = true;
+  rs->is_recv = false;
+  rs->home = &my_box();
+  return Request(std::move(rs));
+}
+
+Request Comm::irecv_bytes(void* buf, std::size_t capacity, int src, int tag) {
+  prof::WallTimer t;
+  Request req = post_recv_raw(buf, capacity, src, tag);
+  record("MPI_Irecv", t.seconds(), 0);
+  return req;
+}
+
+Status Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag) {
+  prof::WallTimer t;
+  Request req = post_recv_raw(buf, capacity, src, tag);
+  Status s = wait_raw(req);
+  int global_src = s.source;
+  if (s.source >= 0) s.source = local_of_global(s.source);
+  record("MPI_Recv", t.seconds(), (long long)s.bytes, global_src, s.tag);
+  return s;
+}
+
+Status Comm::wait(Request& req) {
+  prof::WallTimer t;
+  Status s = wait_raw(req);
+  bool was_recv = req.valid() && req.state()->is_recv;
+  int global_src = s.source;
+  if (s.source >= 0) s.source = local_of_global(s.source);
+  record("MPI_Wait", t.seconds(), 0);
+  if (was_recv && global_src >= 0) {
+    trace_recv_completion(global_src, s.tag, (long long)s.bytes, t.seconds());
+  }
+  req = Request();
+  return s;
+}
+
+void Comm::waitall(std::span<Request> reqs) {
+  prof::WallTimer t;
+  for (Request& r : reqs) {
+    wait_raw(r);
+  }
+  record("MPI_Waitall", t.seconds(), 0);
+  // Trace each matched receive; the blocking interval is shared.
+  for (Request& r : reqs) {
+    if (r.valid() && r.state()->is_recv) {
+      const Status& s = r.state()->status;
+      if (s.source >= 0) {
+        trace_recv_completion(s.source, s.tag, (long long)s.bytes, t.seconds());
+      }
+    }
+    r = Request();
+  }
+}
+
+void Comm::trace_recv_completion(int global_src, int tag, long long bytes,
+                                 double blocked_seconds) const {
+  trace::Tracer* tracer = uni_->tracer();
+  if (tracer == nullptr) return;
+  const double t_end = tracer->now();
+  tracer->on_recv(group_[rank_], global_src, tag, bytes,
+                  t_end - blocked_seconds, t_end);
+}
+
+int Comm::waitany(std::span<Request> reqs, Status* status) {
+  prof::WallTimer t;
+  // Completion order is only observable through polling; requests complete
+  // under the mailbox lock, so a short poll period costs little and keeps
+  // the implementation free of extra per-request condition variables.
+  bool doomed_seen = false;
+  for (;;) {
+    bool any_valid = false;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (!reqs[i].valid()) continue;
+      any_valid = true;
+      if (my_box().test(reqs[i])) {
+        Status s = reqs[i].state()->status;
+        bool was_recv = reqs[i].state()->is_recv;
+        record("MPI_Waitany", t.seconds(), 0);
+        if (was_recv && s.source >= 0) {
+          trace_recv_completion(s.source, s.tag, (long long)s.bytes,
+                                t.seconds());
+          s.source = local_of_global(s.source);
+        }
+        if (status != nullptr) *status = s;
+        reqs[i] = Request();
+        return int(i);
+      }
+    }
+    if (!any_valid) {
+      record("MPI_Waitany", t.seconds(), 0);
+      return -1;
+    }
+    uni_->check_abort();
+    // Deliveries happen-before a rank's exit, so one full rescan after
+    // observing "everyone else exited" is conclusive.
+    if (doomed_seen) throw DeadlockDetected{};
+    if (uni_->last_rank_standing()) {
+      doomed_seen = true;
+      continue;
+    }
+    std::this_thread::yield();
+  }
+}
+
+bool Comm::test(Request& req) {
+  prof::WallTimer t;
+  bool done = my_box().test(req);
+  record("MPI_Test", t.seconds(), 0);
+  if (done) req = Request();
+  return done;
+}
+
+Status Comm::probe(int src, int tag) {
+  prof::WallTimer t;
+  int global_src = src == kAnySource ? kAnySource : group_.at(src);
+  Status s = my_box().probe(ctx_, global_src, tag, uni_);
+  if (s.source >= 0) s.source = local_of_global(s.source);
+  record("MPI_Probe", t.seconds(), 0);
+  return s;
+}
+
+bool Comm::iprobe(int src, int tag, Status* status) {
+  prof::WallTimer t;
+  int global_src = src == kAnySource ? kAnySource : group_.at(src);
+  bool hit = my_box().iprobe(ctx_, global_src, tag, status);
+  if (hit && status != nullptr && status->source >= 0) {
+    status->source = local_of_global(status->source);
+  }
+  record("MPI_Iprobe", t.seconds(), 0);
+  return hit;
+}
+
+// ---- collectives -------------------------------------------------------------
+
+void Comm::barrier() {
+  prof::WallTimer t;
+  const int tag = next_coll_tag();
+  const int p = size();
+  // Dissemination barrier: ceil(log2 P) rounds; round k signals rank+2^k.
+  char token = 0;
+  for (int k = 1; k < p; k <<= 1) {
+    int dest = (rank_ + k) % p;
+    int src = (rank_ - k % p + p) % p;
+    send_raw(&token, 1, dest, tag + 0);
+    char in = 0;
+    wait_raw(post_recv_raw(&in, 1, src, tag + 0));
+  }
+  record("MPI_Barrier", t.seconds(), 0);
+}
+
+void Comm::bcast_tree(void* buf, std::size_t bytes, int root, int tag) {
+  const int p = size();
+  const int vr = (rank_ - root + p) % p;
+  // Binomial tree: receive from parent once, then forward to children in
+  // decreasing mask order.
+  int mask = 1;
+  while (mask < p) mask <<= 1;
+  // Find the bit where vr receives: lowest set bit of vr.
+  if (vr != 0) {
+    int recv_mask = vr & -vr;
+    int parent = ((vr & ~recv_mask) + root) % p;
+    wait_raw(post_recv_raw(buf, bytes, parent, tag));
+    mask = recv_mask;
+  }
+  // Children: vr + m for each m below our receive bit (or below p for root).
+  int m = (vr == 0) ? mask : (vr & -vr);
+  for (m >>= 1; m > 0; m >>= 1) {
+    int child = vr + m;
+    if (child < p) {
+      send_raw(buf, bytes, (child + root) % p, tag);
+    }
+  }
+}
+
+void Comm::bcast_bytes(void* buf, std::size_t bytes, int root) {
+  prof::WallTimer t;
+  bcast_tree(buf, bytes, root, next_coll_tag());
+  record("MPI_Bcast", t.seconds(), (long long)bytes);
+}
+
+Comm Comm::split(int color, int key) {
+  prof::WallTimer t;
+  const int p = size();
+
+  // 1. Share (color, key) triples.
+  struct Entry {
+    int color, key, rank;
+  };
+  Entry mine{color, key, rank_};
+  std::vector<Entry> all = allgather(std::span<const Entry>(&mine, 1));
+
+  // 2. Rank 0 allocates one fresh context per distinct color and shares the
+  //    assignment; contexts must be identical across members and unique in
+  //    the universe.
+  std::vector<int> colors;
+  for (const Entry& e : all) colors.push_back(e.color);
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+  std::vector<int> ctxs(colors.size(), 0);
+  if (rank_ == 0) {
+    for (auto& c : ctxs) c = uni_->next_ctx();
+  }
+  bcast_tree(ctxs.data(), ctxs.size() * sizeof(int), 0, next_coll_tag());
+
+  // 3. Build my group, ordered by (key, parent rank).
+  std::vector<Entry> members;
+  for (const Entry& e : all) {
+    if (e.color == color) members.push_back(e);
+  }
+  std::sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.rank) < std::tie(b.key, b.rank);
+  });
+  std::vector<int> group;
+  int my_index = -1;
+  for (const Entry& e : members) {
+    if (e.rank == rank_) my_index = int(group.size());
+    group.push_back(group_[e.rank]);
+  }
+  assert(my_index >= 0);
+
+  std::size_t color_idx =
+      std::lower_bound(colors.begin(), colors.end(), color) - colors.begin();
+  int ctx = ctxs[color_idx];
+  (void)p;
+  record("MPI_Comm_split", t.seconds(), 0);
+  return Comm(*uni_, ctx, std::move(group), my_index);
+}
+
+}  // namespace cmtbone::comm

@@ -1,0 +1,135 @@
+#include "comm/mailbox.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace cmtbone::comm {
+
+void Mailbox::complete_locked(RequestState& rs, const Envelope& env) {
+  if (env.payload.size() > rs.capacity) {
+    throw std::runtime_error("comm: message truncation (recv buffer " +
+                             std::to_string(rs.capacity) + " B < message " +
+                             std::to_string(env.payload.size()) + " B)");
+  }
+  if (!env.payload.empty()) {
+    std::memcpy(rs.buf, env.payload.data(), env.payload.size());
+  }
+  rs.status.source = env.src;
+  rs.status.tag = env.tag;
+  rs.status.bytes = env.payload.size();
+  rs.done = true;
+}
+
+void Mailbox::deliver(Envelope env) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    RequestState& rs = **it;
+    if (matches(env, rs.ctx, rs.src, rs.tag)) {
+      complete_locked(rs, env);
+      pending_.erase(it);
+      cv_.notify_all();
+      return;
+    }
+  }
+  unexpected_.push_back(std::move(env));
+  // Probers may be sleeping via wait(); wake them so iprobe loops make
+  // progress. (wait() itself sleeps on cv_ too.)
+  cv_.notify_all();
+}
+
+Request Mailbox::post_recv(int ctx, int src, int tag, void* buf,
+                           std::size_t capacity) {
+  auto rs = std::make_shared<RequestState>();
+  rs->is_recv = true;
+  rs->ctx = ctx;
+  rs->src = src;
+  rs->tag = tag;
+  rs->buf = buf;
+  rs->capacity = capacity;
+  rs->home = this;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (matches(*it, ctx, src, tag)) {
+      complete_locked(*rs, *it);
+      unexpected_.erase(it);
+      return Request(std::move(rs));
+    }
+  }
+  pending_.push_back(rs);
+  return Request(std::move(rs));
+}
+
+Status Mailbox::wait(const Request& req, const JobControl* job) {
+  if (!req.valid()) return {};
+  RequestState& rs = *req.state();
+  if (!rs.is_recv) return rs.status;  // sends complete at post time
+  std::unique_lock<std::mutex> lock(mu_);
+  if (job == nullptr) {
+    cv_.wait(lock, [&rs] { return rs.done; });
+  } else {
+    // Poll job state at a coarse period so a crashed peer (or a provable
+    // deadlock) unwinds this rank instead of leaving it blocked forever.
+    while (!cv_.wait_for(lock, std::chrono::milliseconds(20),
+                         [&rs] { return rs.done; })) {
+      if (job->aborted()) throw JobAborted{};
+      if (job->last_rank_standing()) throw DeadlockDetected{};
+    }
+  }
+  return rs.status;
+}
+
+bool Mailbox::test(const Request& req) {
+  if (!req.valid()) return true;
+  RequestState& rs = *req.state();
+  if (!rs.is_recv) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  return rs.done;
+}
+
+Status Mailbox::probe(int ctx, int src, int tag, const JobControl* job) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto find = [&]() -> const Envelope* {
+    for (const Envelope& env : unexpected_) {
+      if (matches(env, ctx, src, tag)) return &env;
+    }
+    return nullptr;
+  };
+  // Job-state checks run under the mailbox mutex immediately after a failed
+  // scan: a sender mid-deliver is blocked on this same mutex (so it has not
+  // exited yet), which makes "no match AND everyone else exited" a proof of
+  // deadlock rather than a race with in-flight delivery.
+  const Envelope* hit = nullptr;
+  while ((hit = find()) == nullptr) {
+    if (job == nullptr) {
+      cv_.wait(lock);
+    } else {
+      if (job->aborted()) throw JobAborted{};
+      if (job->last_rank_standing()) throw DeadlockDetected{};
+      cv_.wait_for(lock, std::chrono::milliseconds(20));
+    }
+  }
+  Status s;
+  s.source = hit->src;
+  s.tag = hit->tag;
+  s.bytes = hit->payload.size();
+  return s;
+}
+
+bool Mailbox::iprobe(int ctx, int src, int tag, Status* status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Envelope& env : unexpected_) {
+    if (matches(env, ctx, src, tag)) {
+      if (status != nullptr) {
+        status->source = env.src;
+        status->tag = env.tag;
+        status->bytes = env.payload.size();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cmtbone::comm

@@ -1,0 +1,57 @@
+#pragma once
+// Per-rank mailbox: the delivery and matching engine of the runtime.
+//
+// Each rank owns exactly one mailbox. Senders (other rank threads) call
+// deliver(); the owning rank posts receives and waits. Matching follows
+// MPI's rules: a posted receive takes the earliest queued message that
+// matches, and an arriving message completes the earliest posted receive
+// that matches.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "comm/message.hpp"
+#include "comm/request.hpp"
+
+namespace cmtbone::comm {
+
+class Mailbox {
+ public:
+  /// Called from the sender's thread. Either completes a posted receive or
+  /// queues the envelope as unexpected.
+  void deliver(Envelope env);
+
+  /// Post a nonblocking receive for the owning rank. If a queued unexpected
+  /// message matches, the returned request is already complete.
+  Request post_recv(int ctx, int src, int tag, void* buf, std::size_t capacity);
+
+  /// Block until `req` completes; returns its status. While blocked, polls
+  /// `job` (when given): throws JobAborted if another rank crashed, or
+  /// DeadlockDetected if every other rank already exited.
+  Status wait(const Request& req, const JobControl* job = nullptr);
+
+  /// Nonblocking completion check.
+  bool test(const Request& req);
+
+  /// True if an unexpected message matching (ctx, src, tag) is queued.
+  /// Fills `status` with its metadata without receiving it (MPI_Iprobe).
+  bool iprobe(int ctx, int src, int tag, Status* status);
+
+  /// Block until a message matching (ctx, src, tag) is queued; returns its
+  /// metadata without receiving it (MPI_Probe). Abort-aware like wait().
+  Status probe(int ctx, int src, int tag, const JobControl* job = nullptr);
+
+ private:
+  // Copies payload into the receive buffer and fills status. Caller holds mu_.
+  static void complete_locked(RequestState& rs, const Envelope& env);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> unexpected_;
+  std::deque<std::shared_ptr<RequestState>> pending_;
+};
+
+}  // namespace cmtbone::comm

@@ -1,0 +1,67 @@
+#pragma once
+// Message envelope and matching rules for the in-process message-passing
+// runtime.
+//
+// This runtime substitutes for MPI in the reproduction (no MPI library is
+// available in the build environment). It preserves MPI's matching
+// semantics: a receive matches on (context, source, tag) with wildcard
+// source/tag, and messages between a given (source, dest, context) pair
+// match in posting order (non-overtaking).
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace cmtbone::comm {
+
+/// Wildcards, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// User-visible tags must stay below this; the collective implementations
+/// use the tag space above it so user p2p traffic can never match
+/// collective-internal messages.
+inline constexpr int kCollectiveTagBase = 1 << 20;
+
+/// A message in flight. `src` is the *global* rank of the sender; `ctx`
+/// identifies the communicator (so split communicators do not cross-match).
+struct Envelope {
+  int ctx = 0;
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Thrown out of blocked operations when another rank aborted with an
+/// exception, so the whole job unwinds instead of deadlocking.
+struct JobAborted : std::runtime_error {
+  JobAborted() : std::runtime_error("comm: job aborted by another rank") {}
+};
+
+/// Thrown out of a blocked operation that can provably never complete:
+/// every other rank has already exited its body, so no one is left to send.
+/// The usual cause is a collective called inside a rank-conditional block.
+struct DeadlockDetected : std::runtime_error {
+  DeadlockDetected()
+      : std::runtime_error(
+            "comm: blocked operation cannot complete - all other ranks have "
+            "exited (collective inside a rank-conditional block?)") {}
+};
+
+/// Job-level state blocked operations poll to unwind instead of hanging.
+class JobControl {
+ public:
+  virtual ~JobControl() = default;
+  /// True once any rank aborted with an exception.
+  virtual bool aborted() const = 0;
+  /// True when the calling rank is the only one still running.
+  virtual bool last_rank_standing() const = 0;
+};
+
+/// Does an envelope satisfy a posted receive's (ctx, src, tag) spec?
+inline bool matches(const Envelope& env, int ctx, int src, int tag) {
+  return env.ctx == ctx && (src == kAnySource || env.src == src) &&
+         (tag == kAnyTag || env.tag == tag);
+}
+
+}  // namespace cmtbone::comm

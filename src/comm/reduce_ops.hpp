@@ -1,0 +1,31 @@
+#pragma once
+// Reduction operators for the collective operations (MPI_Op analogue).
+
+#include <algorithm>
+
+namespace cmtbone::comm {
+
+enum class ReduceOp { kSum, kProd, kMin, kMax };
+
+template <class T>
+T apply(ReduceOp op, T a, T b) {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kProd: return a * b;
+    case ReduceOp::kMin: return std::min(a, b);
+    case ReduceOp::kMax: return std::max(a, b);
+  }
+  return a;
+}
+
+inline const char* name(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return "sum";
+    case ReduceOp::kProd: return "prod";
+    case ReduceOp::kMin: return "min";
+    case ReduceOp::kMax: return "max";
+  }
+  return "?";
+}
+
+}  // namespace cmtbone::comm

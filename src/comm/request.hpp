@@ -1,0 +1,53 @@
+#pragma once
+// Nonblocking-operation handles (the MPI_Request analogue).
+
+#include <cstddef>
+#include <memory>
+
+namespace cmtbone::comm {
+
+class Mailbox;
+
+/// Completion status of a receive (MPI_Status analogue).
+struct Status {
+  int source = -1;
+  int tag = -1;
+  std::size_t bytes = 0;
+};
+
+/// Shared state behind a Request. For receives, the mailbox fills
+/// `status` and flips `done` under the mailbox mutex; waiters sleep on the
+/// mailbox condition variable.
+struct RequestState {
+  bool done = false;
+  bool is_recv = false;
+
+  // Receive-side matching spec and destination buffer.
+  int ctx = 0;
+  int src = 0;
+  int tag = 0;
+  void* buf = nullptr;
+  std::size_t capacity = 0;
+
+  Status status;
+
+  // Mailbox whose mutex/condvar guard this state (the poster's mailbox).
+  Mailbox* home = nullptr;
+};
+
+/// Value-semantic handle; copyable like MPI_Request. A default-constructed
+/// Request is "null" and completes immediately.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<RequestState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  RequestState* state() const { return state_.get(); }
+
+ private:
+  std::shared_ptr<RequestState> state_;
+};
+
+}  // namespace cmtbone::comm

@@ -1,0 +1,63 @@
+#include "comm/runtime.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "prof/timer.hpp"
+
+namespace cmtbone::comm {
+
+void run(int nranks, const std::function<void(Comm&)>& body,
+         const RunOptions& options) {
+  if (nranks <= 0) throw std::invalid_argument("comm::run: nranks must be > 0");
+
+  Universe universe(nranks, options.comm_profiler, options.tracer);
+  std::vector<std::exception_ptr> errors(nranks);
+  if (options.call_profiles != nullptr) {
+    options.call_profiles->clear();
+    options.call_profiles->resize(nranks);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      prof::reset_thread_profile();
+      Comm world(universe, r);
+      prof::WallTimer wall;
+      try {
+        body(world);
+      } catch (...) {
+        errors[r] = std::current_exception();
+        universe.abort();
+      }
+      universe.rank_finished();
+      if (options.comm_profiler != nullptr) {
+        options.comm_profiler->set_rank_walltime(r, wall.seconds());
+      }
+      if (options.call_profiles != nullptr) {
+        (*options.call_profiles)[r] = std::move(prof::thread_profile());
+        prof::reset_thread_profile();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Rethrow the first real failure; JobAborted is only the echo of it.
+  std::exception_ptr aborted;
+  for (const auto& err : errors) {
+    if (!err) continue;
+    try {
+      std::rethrow_exception(err);
+    } catch (const JobAborted&) {
+      aborted = err;
+    } catch (...) {
+      std::rethrow_exception(err);
+    }
+  }
+  if (aborted) std::rethrow_exception(aborted);
+}
+
+}  // namespace cmtbone::comm

@@ -1,0 +1,33 @@
+#pragma once
+// Job launcher: spawns one thread per rank and runs the user body with a
+// world communicator, the analogue of mpirun + MPI_Init.
+//
+// Every rank body runs to completion before run() returns. If a rank throws,
+// the job is aborted (blocked peers unwind via JobAborted) and the first
+// real exception is rethrown on the caller's thread.
+
+#include <functional>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "prof/callprof.hpp"
+#include "prof/commprof.hpp"
+
+namespace cmtbone::comm {
+
+struct RunOptions {
+  /// Attach a communication profiler (mpiP proxy). Rank wall times are
+  /// recorded into it automatically.
+  prof::CommProfiler* comm_profiler = nullptr;
+  /// If non-null, receives each rank's call-tree profile (gprof proxy),
+  /// indexed by rank.
+  std::vector<prof::CallProfile>* call_profiles = nullptr;
+  /// Record a communication trace for behavioral emulation (trace/replay).
+  trace::Tracer* tracer = nullptr;
+};
+
+/// Run `body` on `nranks` ranks. Blocks until all ranks finish.
+void run(int nranks, const std::function<void(Comm&)>& body,
+         const RunOptions& options = {});
+
+}  // namespace cmtbone::comm

@@ -1,0 +1,61 @@
+#pragma once
+// The Universe owns the shared state of one parallel "job": every rank's
+// mailbox, the communicator-context allocator, the abort flag, and the
+// (optional) communication profiler.
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+#include "prof/commprof.hpp"
+#include "trace/trace.hpp"
+
+namespace cmtbone::comm {
+
+class Universe : public JobControl {
+ public:
+  explicit Universe(int nranks, prof::CommProfiler* profiler = nullptr,
+                    trace::Tracer* tracer = nullptr)
+      : boxes_(nranks), profiler_(profiler), tracer_(tracer),
+        active_(nranks) {
+    for (auto& b : boxes_) b = std::make_unique<Mailbox>();
+  }
+
+  int size() const { return int(boxes_.size()); }
+
+  Mailbox& mailbox(int global_rank) { return *boxes_.at(global_rank); }
+
+  prof::CommProfiler* profiler() const { return profiler_; }
+  trace::Tracer* tracer() const { return tracer_; }
+
+  /// Allocate a fresh communicator context id (collision-free by
+  /// construction). Context 0 is the world communicator.
+  int next_ctx() { return ctx_counter_.fetch_add(1); }
+
+  void abort() { aborted_.store(true, std::memory_order_release); }
+  bool aborted() const override {
+    return aborted_.load(std::memory_order_acquire);
+  }
+  void check_abort() const {
+    if (aborted()) throw JobAborted{};
+  }
+
+  /// Called by the runtime when a rank's body returns; enables the
+  /// provable-deadlock check in blocked operations.
+  void rank_finished() { active_.fetch_sub(1, std::memory_order_acq_rel); }
+  bool last_rank_standing() const override {
+    return active_.load(std::memory_order_acquire) <= 1;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  prof::CommProfiler* profiler_;
+  trace::Tracer* tracer_;
+  std::atomic<int> ctx_counter_{1};
+  std::atomic<bool> aborted_{false};
+  std::atomic<int> active_{0};
+};
+
+}  // namespace cmtbone::comm

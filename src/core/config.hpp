@@ -1,0 +1,103 @@
+#pragma once
+// CMT-bone run configuration.
+//
+// The paper's key application parameters (§IV): "degree of the polynomial
+// N-1, number of elements per processor Nel, and the number of MPI
+// processes P". The config mirrors the Fig. 7 setup block: a global element
+// grid, a processor grid, and N gridpoints per element per direction.
+
+#include <array>
+#include <cstdint>
+
+#include "gs/gather_scatter.hpp"
+#include "kernels/gradient.hpp"
+
+namespace cmtbone::core {
+
+/// What the conserved fields mean physically.
+enum class Physics {
+  /// The mini-app proxy: five conserved fields (mass, three momentum
+  /// components, energy) all advected linearly — the source terms are zero
+  /// and the flux is linear, exactly the abstraction the paper describes
+  /// ("the current version of CMT-bone abstracts CMT-nek behavior as
+  /// matrix-multiplication and nearest neighbor surface data exchanges").
+  kProxyAdvection,
+  /// One scalar field, genuine DG-SEM linear advection. Has an analytic
+  /// solution (a translate of the initial condition) — the validation path.
+  kAdvection,
+  /// Compressible Euler with Rusanov numerical flux (the physics CMT-nek's
+  /// explicit compressible solver steps, minus multiphase coupling).
+  kEuler,
+};
+
+const char* physics_name(Physics p);
+
+/// Explicit time integrators. CMT-nek's explicit compressible solver uses a
+/// three-stage SSP Runge-Kutta; the others support temporal-order studies
+/// and the cheap-stepping ablation.
+enum class TimeIntegrator {
+  kForwardEuler,  // 1 stage, order 1
+  kRk2Ssp,        // Heun / SSP(2,2), order 2
+  kRk3Ssp,        // Shu-Osher SSP(3,3), order 3 (the CMT-nek default)
+  kRk4,           // classic RK4, order 4
+};
+
+const char* integrator_name(TimeIntegrator t);
+int integrator_stages(TimeIntegrator t);
+int integrator_order(TimeIntegrator t);
+
+/// How the nearest-neighbor surface exchange moves data. The paper (§IV):
+/// nearest-neighbor exchanges "take place using a specialized gather-scatter
+/// library" — that is kGatherScatter, where face points carry paired global
+/// ids and one gs_op(add) per exchange yields mine+neighbor. kDirect is the
+/// hand-built plan of mesh::FaceExchange (fewer, larger messages).
+enum class FaceBackend { kDirect, kGatherScatter };
+
+const char* face_backend_name(FaceBackend b);
+
+struct Config {
+  int n = 10;                  // GLL points per direction (Fig. 7 uses 10)
+  int ex = 8, ey = 8, ez = 8;  // global element grid
+  int px = 0, py = 0, pz = 0;  // processor grid; 0 = derive from comm size
+  bool periodic = true;
+
+  Physics physics = Physics::kProxyAdvection;
+  FaceBackend face_backend = FaceBackend::kDirect;
+  TimeIntegrator integrator = TimeIntegrator::kRk3Ssp;
+  kernels::GradVariant variant = kernels::GradVariant::kFusedUnrolled;
+  gs::Method gs_method = gs::Method::kPairwise;
+
+  /// Compute the volume term with the single-sweep fused divergence kernel
+  /// (kernels::div3) instead of three separate derivative passes — the
+  /// next optimization step beyond §V's per-derivative transformations.
+  /// When set, `variant` is ignored for the volume term.
+  bool fused_divergence = false;
+
+  /// Apply direct-stiffness averaging (gs_op over shared GLL points, then
+  /// divide by multiplicity) after each step — the gs_op_ kernel of Fig. 4.
+  bool use_dssum = true;
+  /// Run the dealias round-trip on the energy field each RHS evaluation
+  /// (the "mapped to a finer mesh and later mapped back" path of §V).
+  bool dealias = false;
+
+  /// Lagrangian tracer particles per rank (0 = off). Particles advect with
+  /// the carrier velocity (proxy/advection) or the interpolated flow field
+  /// (Euler) and migrate between ranks through the crystal router — the
+  /// point-particle capability the paper schedules for CMT-nek (§III-A).
+  int particles_per_rank = 0;
+  std::uint64_t particle_seed = 2015;
+  /// Two-way coupling strength: when nonzero, every particle deposits this
+  /// much momentum-source per RHS evaluation onto its owning element (the
+  /// conservation-law source term R of paper Eq. 1, which current CMT-bone
+  /// sets to zero; "complete multiphase coupling" is the §III-A roadmap).
+  double particle_coupling = 0.0;
+
+  double cfl = 0.3;
+  double fixed_dt = 0.0;  // > 0 overrides the CFL computation
+  std::array<double, 3> velocity = {1.0, 0.5, 0.25};  // advection speed
+  double gamma = 1.4;                                  // Euler only
+
+  int nfields() const { return physics == Physics::kAdvection ? 1 : 5; }
+};
+
+}  // namespace cmtbone::core

@@ -1,0 +1,689 @@
+#include "core/driver.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/flux.hpp"
+#include "io/checkpoint.hpp"
+#include "io/vtk.hpp"
+#include "kernels/div.hpp"
+#include "kernels/gradient.hpp"
+#include "kernels/tensor.hpp"
+#include "mesh/face_numbering.hpp"
+#include "mesh/numbering.hpp"
+#include "prof/callprof.hpp"
+
+namespace cmtbone::core {
+
+const char* physics_name(Physics p) {
+  switch (p) {
+    case Physics::kProxyAdvection: return "proxy-advection";
+    case Physics::kAdvection: return "advection";
+    case Physics::kEuler: return "euler";
+  }
+  return "?";
+}
+
+const char* integrator_name(TimeIntegrator t) {
+  switch (t) {
+    case TimeIntegrator::kForwardEuler: return "forward-euler";
+    case TimeIntegrator::kRk2Ssp: return "ssp-rk2";
+    case TimeIntegrator::kRk3Ssp: return "ssp-rk3";
+    case TimeIntegrator::kRk4: return "rk4";
+  }
+  return "?";
+}
+
+int integrator_stages(TimeIntegrator t) {
+  switch (t) {
+    case TimeIntegrator::kForwardEuler: return 1;
+    case TimeIntegrator::kRk2Ssp: return 2;
+    case TimeIntegrator::kRk3Ssp: return 3;
+    case TimeIntegrator::kRk4: return 4;
+  }
+  return 0;
+}
+
+const char* face_backend_name(FaceBackend b) {
+  switch (b) {
+    case FaceBackend::kDirect: return "direct";
+    case FaceBackend::kGatherScatter: return "gather-scatter";
+  }
+  return "?";
+}
+
+int integrator_order(TimeIntegrator t) {
+  switch (t) {
+    case TimeIntegrator::kForwardEuler: return 1;
+    case TimeIntegrator::kRk2Ssp: return 2;
+    case TimeIntegrator::kRk3Ssp: return 3;
+    case TimeIntegrator::kRk4: return 4;
+  }
+  return 0;
+}
+
+namespace {
+mesh::BoxSpec make_spec(const Config& cfg, int nranks) {
+  mesh::BoxSpec spec;
+  spec.n = cfg.n;
+  spec.ex = cfg.ex;
+  spec.ey = cfg.ey;
+  spec.ez = cfg.ez;
+  spec.periodic = cfg.periodic;
+  if (cfg.px > 0) {
+    spec.px = cfg.px;
+    spec.py = cfg.py;
+    spec.pz = cfg.pz;
+  } else {
+    auto grid = mesh::BoxSpec::default_proc_grid(nranks);
+    spec.px = grid[0];
+    spec.py = grid[1];
+    spec.pz = grid[2];
+  }
+  if (spec.nranks() != nranks) {
+    throw std::invalid_argument(
+        "Driver: processor grid does not match communicator size");
+  }
+  spec.validate();
+  return spec;
+}
+}  // namespace
+
+Driver::Driver(comm::Comm& comm, const Config& config)
+    : comm_(&comm),
+      config_(config),
+      spec_(make_spec(config, comm.size())),
+      part_(spec_, comm.rank()),
+      ops_(sem::Operators::build(config.n)) {
+  exchange_ = std::make_unique<mesh::FaceExchange>(comm, part_);
+
+  {
+    prof::ScopedRegion region("gs_setup");
+    std::vector<long long> ids = mesh::global_gll_ids(part_);
+    gs_ = std::make_unique<gs::GatherScatter>(comm, std::span<const long long>(ids),
+                                              config.gs_method);
+  }
+
+  const int n = config_.n;
+  const int nel = part_.nel();
+  pts_ = std::size_t(n) * n * n * nel;
+  const int nf = nfields();
+
+  auto alloc_fields = [&](std::vector<std::vector<double>>& v) {
+    v.assign(nf, std::vector<double>(pts_, 0.0));
+  };
+  alloc_fields(u_);
+  alloc_fields(u1_);
+  alloc_fields(u2_);
+  alloc_fields(rhs_);
+  alloc_fields(flux_);
+  grad_scratch_.assign(pts_, 0.0);
+  if (config_.fused_divergence) {
+    for (auto& buf : flux_fused_) buf.assign(pts_, 0.0);
+  }
+  myfaces_.assign(mesh::face_array_size(n, nel) * nf, 0.0);
+  nbrfaces_.assign(mesh::face_array_size(n, nel) * nf, 0.0);
+
+  if (config_.dealias) {
+    const int m = ops_.m;
+    dealias_fine_.assign(std::size_t(m) * m * m, 0.0);
+    dealias_back_.assign(std::size_t(n) * n * n, 0.0);
+    dealias_work_.assign(kernels::tensor_work_size(std::max(m, n), std::max(m, n)),
+                         0.0);
+  }
+
+  // Direct-stiffness multiplicity: gs_op(add) over a field of ones counts
+  // the copies of each global point.
+  inv_multiplicity_.assign(pts_, 1.0);
+  gs_->exec(std::span<double>(inv_multiplicity_), gs::ReduceOp::kSum);
+  for (double& v : inv_multiplicity_) v = 1.0 / v;
+
+  if (config_.face_backend == FaceBackend::kGatherScatter) {
+    prof::ScopedRegion region("gs_setup (faces)");
+    std::vector<long long> fids = mesh::face_point_gids(part_);
+    face_gs_ = std::make_unique<gs::GatherScatter>(
+        comm, std::span<const long long>(fids), config_.gs_method);
+    // Interior mask from the multiplicity trick: interior face points have
+    // exactly two copies, physical-boundary points one.
+    std::vector<double> ones(fids.size(), 1.0);
+    face_gs_->exec(std::span<double>(ones), gs::ReduceOp::kSum);
+    face_interior_.resize(ones.size());
+    for (std::size_t s = 0; s < ones.size(); ++s) {
+      face_interior_[s] = ones[s] > 1.5 ? 1 : 0;
+    }
+  }
+
+  h_ = {1.0 / spec_.ex, 1.0 / spec_.ey, 1.0 / spec_.ez};
+
+  if (config_.particles_per_rank > 0) {
+    tracker_ = std::make_unique<particles::Tracker>(comm, part_, ops_);
+    tracker_->seed_random(config_.particles_per_rank, config_.particle_seed);
+  }
+}
+
+std::array<double, 3> Driver::node_coords(int e, int i, int j, int k) const {
+  auto g = part_.global_coords(e);
+  const std::vector<double>& r = ops_.rule.nodes;
+  return {(g[0] + 0.5 * (r[i] + 1.0)) * h_[0],
+          (g[1] + 0.5 * (r[j] + 1.0)) * h_[1],
+          (g[2] + 0.5 * (r[k] + 1.0)) * h_[2]};
+}
+
+FieldFunction Driver::default_ic() const {
+  // Smooth periodic profile; positive everywhere so it also serves as a
+  // density. For Euler the conserved fields are derived from (rho, v, p).
+  auto bump = [](double x, double y, double z) {
+    return 2.0 + std::sin(2.0 * M_PI * x) * std::sin(2.0 * M_PI * y) *
+                     std::sin(2.0 * M_PI * z);
+  };
+  if (config_.physics == Physics::kEuler) {
+    auto vel = config_.velocity;
+    double gamma = config_.gamma;
+    return [bump, vel, gamma](double x, double y, double z, int f) {
+      double rho = 1.0 + 0.2 * (bump(x, y, z) - 2.0);
+      double p = 1.0;
+      double kinetic =
+          0.5 * rho * (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]);
+      switch (f) {
+        case 0: return rho;
+        case 1: return rho * vel[0];
+        case 2: return rho * vel[1];
+        case 3: return rho * vel[2];
+        default: return p / (gamma - 1.0) + kinetic;
+      }
+    };
+  }
+  return [bump](double x, double y, double z, int f) {
+    return (f + 1) * bump(x, y, z);
+  };
+}
+
+void Driver::initialize(const FieldFunction& ic) {
+  const int n = config_.n;
+  for (int f = 0; f < nfields(); ++f) {
+    std::size_t idx = 0;
+    for (int e = 0; e < part_.nel(); ++e) {
+      for (int k = 0; k < n; ++k) {
+        for (int j = 0; j < n; ++j) {
+          for (int i = 0; i < n; ++i) {
+            auto c = node_coords(e, i, j, k);
+            u_[f][idx++] = ic(c[0], c[1], c[2], f);
+          }
+        }
+      }
+    }
+  }
+  time_ = 0.0;
+  steps_ = 0;
+}
+
+double Driver::local_max_wavespeed(int axis) const {
+  if (config_.physics != Physics::kEuler) {
+    return std::abs(config_.velocity[axis]);
+  }
+  double lambda = 0.0;
+  for (std::size_t p = 0; p < pts_; ++p) {
+    State5 s{u_[0][p], u_[1][p], u_[2][p], u_[3][p], u_[4][p]};
+    lambda = std::max(lambda, euler_wavespeed(s, axis, config_.gamma));
+  }
+  return lambda;
+}
+
+double Driver::compute_dt() {
+  prof::ScopedRegion region("compute_dt");
+  if (config_.fixed_dt > 0.0) return config_.fixed_dt;
+  // Smallest GLL node spacing per direction, scaled to physical size.
+  const std::vector<double>& r = ops_.rule.nodes;
+  const double dr_min = r[1] - r[0];
+  double dt = std::numeric_limits<double>::infinity();
+  for (int axis = 0; axis < 3; ++axis) {
+    double lambda = local_max_wavespeed(axis);
+    double dx = 0.5 * dr_min * h_[axis];
+    if (lambda > 0.0) dt = std::min(dt, dx / lambda);
+  }
+  // The per-step vector reduction of §VI.
+  dt = comm_->allreduce_one(dt, comm::ReduceOp::kMin);
+  return config_.cfl * dt;
+}
+
+void Driver::compute_rhs(const std::vector<std::vector<double>>& u,
+                         std::vector<std::vector<double>>& rhs) {
+  prof::ScopedRegion region("compute_rhs");
+  const int n = config_.n;
+  const int nel = part_.nel();
+  const int nf = nfields();
+  const double gamma = config_.gamma;
+
+  for (int f = 0; f < nf; ++f) {
+    std::fill(rhs[f].begin(), rhs[f].end(), 0.0);
+  }
+
+  // --- volume term: flux divergence via the derivative kernels -----------
+  if (config_.fused_divergence) {
+    prof::ScopedRegion ax_region("ax_ (flux divergence)");
+    // Fused path: evaluate the three axis fluxes of one field, then a
+    // single div3 sweep accumulates the scaled divergence. (For Euler this
+    // re-derives the flux per field — the option trades that pointwise
+    // redundancy for one output sweep instead of three.)
+    for (int f = 0; f < nf; ++f) {
+      for (int axis = 0; axis < 3; ++axis) {
+        std::vector<double>& dst = flux_fused_[axis];
+        if (config_.physics == Physics::kEuler) {
+          for (std::size_t p = 0; p < pts_; ++p) {
+            State5 s{u[0][p], u[1][p], u[2][p], u[3][p], u[4][p]};
+            State5 fl = euler_flux(s, axis, gamma);
+            const double v[5] = {fl.rho, fl.mx, fl.my, fl.mz, fl.e};
+            dst[p] = v[f];
+          }
+        } else {
+          const double c = config_.velocity[axis];
+          for (std::size_t p = 0; p < pts_; ++p) dst[p] = c * u[f][p];
+        }
+      }
+      kernels::div3(ops_.d.data(), flux_fused_[0].data(),
+                    flux_fused_[1].data(), flux_fused_[2].data(),
+                    grad_scratch_.data(), n, nel, 2.0 / h_[0], 2.0 / h_[1],
+                    2.0 / h_[2]);
+      for (std::size_t p = 0; p < pts_; ++p) rhs[f][p] -= grad_scratch_[p];
+    }
+  } else {
+    prof::ScopedRegion ax_region("ax_ (flux divergence)");
+    for (int axis = 0; axis < 3; ++axis) {
+      // Pointwise axis flux of every field.
+      if (config_.physics == Physics::kEuler) {
+        for (std::size_t p = 0; p < pts_; ++p) {
+          State5 s{u[0][p], u[1][p], u[2][p], u[3][p], u[4][p]};
+          State5 fl = euler_flux(s, axis, gamma);
+          flux_[0][p] = fl.rho;
+          flux_[1][p] = fl.mx;
+          flux_[2][p] = fl.my;
+          flux_[3][p] = fl.mz;
+          flux_[4][p] = fl.e;
+        }
+      } else {
+        const double c = config_.velocity[axis];
+        for (int f = 0; f < nf; ++f) {
+          for (std::size_t p = 0; p < pts_; ++p) flux_[f][p] = c * u[f][p];
+        }
+      }
+      // d(flux)/d(axis) with the selected loop-transformation variant.
+      const double scale = 2.0 / h_[axis];
+      for (int f = 0; f < nf; ++f) {
+        switch (axis) {
+          case 0:
+            kernels::grad_r(config_.variant, ops_.d.data(), flux_[f].data(),
+                            grad_scratch_.data(), n, nel);
+            break;
+          case 1:
+            kernels::grad_s(config_.variant, ops_.d.data(), flux_[f].data(),
+                            grad_scratch_.data(), n, nel);
+            break;
+          default:
+            kernels::grad_t(config_.variant, ops_.d.data(), flux_[f].data(),
+                            grad_scratch_.data(), n, nel);
+        }
+        for (std::size_t p = 0; p < pts_; ++p) {
+          rhs[f][p] -= scale * grad_scratch_[p];
+        }
+      }
+    }
+  }
+
+  // --- optional dealias round-trip (finer mesh and back, §V) -------------
+  if (config_.dealias) {
+    prof::ScopedRegion dl_region("dealias (intp_rstd)");
+    const std::size_t elem = std::size_t(n) * n * n;
+    const int last = nf - 1;  // energy field
+    for (int e = 0; e < nel; ++e) {
+      kernels::dealias_roundtrip(ops_.interp.data(), ops_.interp_t.data(),
+                                 ops_.m, n, u[last].data() + e * elem,
+                                 dealias_fine_.data(), dealias_back_.data(),
+                                 dealias_work_.data());
+      dealias_checksum_ += dealias_back_[0];
+    }
+  }
+
+  // --- multiphase source term (paper Eq. 1's R) ---------------------------
+  if (tracker_ && config_.particle_coupling != 0.0) {
+    prof::ScopedRegion src_region("particle_source");
+    // Deposit onto the x-momentum equation (drag-like forcing); for the
+    // single-field advection mode the scalar itself receives the source.
+    const int target = nf >= 2 ? 1 : 0;
+    tracker_->deposit_all(rhs[target].data(), config_.particle_coupling);
+  }
+
+  // --- surface term --------------------------------------------------------
+  {
+    prof::ScopedRegion f2f_region("full2face_cmt");
+    const std::size_t fsz = mesh::face_array_size(n, nel);
+    for (int f = 0; f < nf; ++f) {
+      mesh::full2face(u[f].data(), myfaces_.data() + f * fsz, n, nel);
+    }
+  }
+  exchange_faces();
+  {
+    prof::ScopedRegion nfx_region("numerical_flux");
+    const std::size_t fsz = mesh::face_array_size(n, nel);
+    const std::vector<double>& w = ops_.rule.weights;
+    const double w_edge = w[0];  // == w[n-1]
+    const std::size_t elem = std::size_t(n) * n * n;
+
+    for (int e = 0; e < nel; ++e) {
+      for (int face = 0; face < mesh::kFacesPerElement; ++face) {
+        const int axis = mesh::face_axis(face);
+        const double sign = mesh::face_side(face) == 0 ? -1.0 : 1.0;
+        const double lift = 2.0 / h_[axis] / w_edge;
+        for (int b = 0; b < n; ++b) {
+          for (int a = 0; a < n; ++a) {
+            const std::size_t foff =
+                mesh::face_offset(face, e, n) + a + std::size_t(n) * b;
+            const std::size_t voff =
+                e * elem + mesh::face_point_volume_index(face, a, b, n);
+            if (config_.physics == Physics::kEuler) {
+              State5 uin{myfaces_[foff], myfaces_[fsz + foff],
+                         myfaces_[2 * fsz + foff], myfaces_[3 * fsz + foff],
+                         myfaces_[4 * fsz + foff]};
+              State5 uout{nbrfaces_[foff], nbrfaces_[fsz + foff],
+                          nbrfaces_[2 * fsz + foff], nbrfaces_[3 * fsz + foff],
+                          nbrfaces_[4 * fsz + foff]};
+              State5 fin = euler_flux(uin, axis, gamma);
+              State5 fout = euler_flux(uout, axis, gamma);
+              double lambda = std::max(euler_wavespeed(uin, axis, gamma),
+                                       euler_wavespeed(uout, axis, gamma));
+              const double in[5] = {uin.rho, uin.mx, uin.my, uin.mz, uin.e};
+              const double out[5] = {uout.rho, uout.mx, uout.my, uout.mz,
+                                     uout.e};
+              const double fi[5] = {fin.rho, fin.mx, fin.my, fin.mz, fin.e};
+              const double fo[5] = {fout.rho, fout.mx, fout.my, fout.mz,
+                                    fout.e};
+              for (int f = 0; f < 5; ++f) {
+                double fstar =
+                    rusanov(fi[f], fo[f], in[f], out[f], lambda, sign);
+                rhs[f][voff] -= lift * sign * (fstar - fi[f]);
+              }
+            } else {
+              const double c = config_.velocity[axis];
+              const double lambda = std::abs(c);
+              for (int f = 0; f < nf; ++f) {
+                double uin = myfaces_[f * fsz + foff];
+                double uout = nbrfaces_[f * fsz + foff];
+                double fstar = rusanov(c * uin, c * uout, uin, uout, lambda, sign);
+                rhs[f][voff] -= lift * sign * (fstar - c * uin);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Driver::exchange_faces() {
+  prof::ScopedRegion ex_region("nearest_neighbor_exchange");
+  const int nf = nfields();
+  if (config_.face_backend == FaceBackend::kDirect) {
+    exchange_->exchange(myfaces_.data(), nbrfaces_.data(), nf);
+    return;
+  }
+  // gs backend: each interior face point has exactly two copies, so one
+  // gs_op(add) yields mine+neighbor everywhere; subtracting my value leaves
+  // the neighbor's. Physical-boundary points (single copy) mirror mine.
+  const std::size_t fsz = mesh::face_array_size(config_.n, part_.nel());
+  std::copy(myfaces_.begin(), myfaces_.end(), nbrfaces_.begin());
+  face_gs_->exec_many(std::span<double>(nbrfaces_), nf, gs::ReduceOp::kSum);
+  for (int f = 0; f < nf; ++f) {
+    double* nbr = nbrfaces_.data() + f * fsz;
+    const double* mine = myfaces_.data() + f * fsz;
+    for (std::size_t s = 0; s < fsz; ++s) {
+      nbr[s] = face_interior_[s] ? nbr[s] - mine[s] : mine[s];
+    }
+  }
+}
+
+void Driver::apply_dssum() {
+  prof::ScopedRegion region("gs_op_ (dssum)");
+  for (int f = 0; f < nfields(); ++f) {
+    gs_->exec(std::span<double>(u_[f]), gs::ReduceOp::kSum);
+    for (std::size_t p = 0; p < pts_; ++p) u_[f][p] *= inv_multiplicity_[p];
+  }
+}
+
+void Driver::step() {
+  prof::ScopedRegion region("cmt_step");
+  const double dt = compute_dt();
+  const int nf = nfields();
+
+  if (config_.integrator == TimeIntegrator::kRk4) {
+    step_rk4(dt);
+  } else {
+    // Shu-Osher form: u_i = a_i*u0 + b_i*(u_{i-1} + dt*L(u_{i-1})); the SSP
+    // schemes are convex combinations of forward-Euler stages.
+    struct Stage {
+      double a, b;
+    };
+    static constexpr Stage kEulerTab[] = {{0.0, 1.0}};
+    static constexpr Stage kRk2Tab[] = {{0.0, 1.0}, {0.5, 0.5}};
+    static constexpr Stage kRk3Tab[] = {
+        {0.0, 1.0}, {0.75, 0.25}, {1.0 / 3.0, 2.0 / 3.0}};
+    const Stage* tab = kRk3Tab;
+    int stages = 3;
+    switch (config_.integrator) {
+      case TimeIntegrator::kForwardEuler: tab = kEulerTab; stages = 1; break;
+      case TimeIntegrator::kRk2Ssp: tab = kRk2Tab; stages = 2; break;
+      default: break;
+    }
+
+    // u1_ holds the running stage value; u_ keeps u0 until the final write.
+    std::vector<std::vector<double>>* prev = &u_;
+    for (int s = 0; s < stages; ++s) {
+      compute_rhs(*prev, rhs_);
+      std::vector<std::vector<double>>* next =
+          (s == stages - 1) ? &u_ : &u1_;
+      const double a = tab[s].a, b = tab[s].b;
+      for (int f = 0; f < nf; ++f) {
+        const std::vector<double>& u0 = u_[f];
+        const std::vector<double>& up = (*prev)[f];
+        std::vector<double>& un = (*next)[f];
+        for (std::size_t p = 0; p < pts_; ++p) {
+          un[p] = a * u0[p] + b * (up[p] + dt * rhs_[f][p]);
+        }
+      }
+      prev = next;
+    }
+  }
+
+  if (config_.use_dssum) apply_dssum();
+  if (tracker_) step_particles(dt);
+
+  time_ += dt;
+  ++steps_;
+}
+
+void Driver::step_particles(double dt) {
+  prof::ScopedRegion region("particle_tracking");
+  if (config_.physics == Physics::kEuler) {
+    // Interpolate the carrier flow: v = momentum / density, computed
+    // pointwise into the stage scratch (free between steps).
+    for (int axis = 0; axis < 3; ++axis) {
+      for (std::size_t p = 0; p < pts_; ++p) {
+        u1_[axis][p] = u_[axis + 1][p] / u_[0][p];
+      }
+    }
+    tracker_->advance_interpolated(u1_[0].data(), u1_[1].data(),
+                                   u1_[2].data(), dt);
+  } else {
+    tracker_->advance(config_.velocity, dt);
+  }
+  tracker_->migrate();
+}
+
+void Driver::step_rk4(double dt) {
+  // Classic RK4. u1_ is the stage state, u2_ accumulates the weighted ks.
+  const int nf = nfields();
+  const double half = 0.5 * dt;
+
+  compute_rhs(u_, rhs_);  // k1
+  for (int f = 0; f < nf; ++f) {
+    for (std::size_t p = 0; p < pts_; ++p) {
+      u2_[f][p] = rhs_[f][p];  // acc = k1
+      u1_[f][p] = u_[f][p] + half * rhs_[f][p];
+    }
+  }
+  compute_rhs(u1_, rhs_);  // k2
+  for (int f = 0; f < nf; ++f) {
+    for (std::size_t p = 0; p < pts_; ++p) {
+      u2_[f][p] += 2.0 * rhs_[f][p];
+      u1_[f][p] = u_[f][p] + half * rhs_[f][p];
+    }
+  }
+  compute_rhs(u1_, rhs_);  // k3
+  for (int f = 0; f < nf; ++f) {
+    for (std::size_t p = 0; p < pts_; ++p) {
+      u2_[f][p] += 2.0 * rhs_[f][p];
+      u1_[f][p] = u_[f][p] + dt * rhs_[f][p];
+    }
+  }
+  compute_rhs(u1_, rhs_);  // k4
+  for (int f = 0; f < nf; ++f) {
+    for (std::size_t p = 0; p < pts_; ++p) {
+      u_[f][p] += (dt / 6.0) * (u2_[f][p] + rhs_[f][p]);
+    }
+  }
+}
+
+double Driver::run(int nsteps) {
+  double t0 = time_;
+  for (int s = 0; s < nsteps; ++s) step();
+  return time_ - t0;
+}
+
+long long Driver::flops_per_rhs() const {
+  const int n = config_.n;
+  const int nel = part_.nel();
+  const int nf = nfields();
+  const long long n3 = 1LL * n * n * n;
+  // Per direction and field: one derivative (2 N^4 per element), the
+  // pointwise flux evaluation (~2 N^3) and the rhs axpy (2 N^3).
+  long long volume = 3LL * nf * (kernels::grad_flops(n, nel) + 4 * n3 * nel);
+  // Surface: per face point and field, the Rusanov flux is ~8 flops.
+  long long surface = 1LL * nf * nel * 6 * n * n * 8;
+  return volume + surface;
+}
+
+long long Driver::flops_per_step() const {
+  return integrator_stages(config_.integrator) * flops_per_rhs();
+}
+
+void Driver::save_checkpoint(const std::string& directory,
+                             const std::string& prefix) const {
+  io::CheckpointHeader header;
+  header.n = config_.n;
+  header.nel = part_.nel();
+  header.nfields = nfields();
+  header.steps = steps_;
+  header.time = time_;
+  std::vector<const double*> fields;
+  fields.reserve(u_.size());
+  for (const auto& f : u_) fields.push_back(f.data());
+  io::write_checkpoint(
+      io::rank_checkpoint_path(directory, prefix, comm_->rank()), header,
+      std::span<const double* const>(fields), pts_);
+}
+
+void Driver::load_checkpoint(const std::string& directory,
+                             const std::string& prefix) {
+  std::vector<std::vector<double>> fields;
+  io::CheckpointHeader header = io::read_checkpoint(
+      io::rank_checkpoint_path(directory, prefix, comm_->rank()), &fields);
+  if (header.n != config_.n || header.nel != part_.nel() ||
+      header.nfields != nfields()) {
+    throw std::runtime_error(
+        "load_checkpoint: geometry mismatch with this configuration");
+  }
+  for (int f = 0; f < nfields(); ++f) u_[f] = std::move(fields[f]);
+  time_ = header.time;
+  steps_ = header.steps;
+}
+
+void Driver::export_vtk(const std::string& path) const {
+  const int n = config_.n;
+  std::vector<std::pair<std::string, std::span<const double>>> fields;
+  static const char* kNames[] = {"rho", "mom_x", "mom_y", "mom_z", "energy"};
+  for (int f = 0; f < nfields(); ++f) {
+    const char* name = nfields() == 1 ? "u" : kNames[f];
+    fields.emplace_back(name, std::span<const double>(u_[f]));
+  }
+  const std::size_t n3 = std::size_t(n) * n * n;
+  io::write_vtk_points(
+      path, pts_,
+      [&](std::size_t p) {
+        int e = int(p / n3);
+        std::size_t r = p % n3;
+        int i = int(r % n);
+        int j = int((r / n) % n);
+        int k = int(r / (std::size_t(n) * n));
+        return node_coords(e, i, j, k);
+      },
+      fields);
+}
+
+double Driver::l2_norm(int f) {
+  const int n = config_.n;
+  const std::vector<double>& w = ops_.rule.weights;
+  const double jac = 0.125 * h_[0] * h_[1] * h_[2];
+  double sum = 0.0;
+  std::size_t idx = 0;
+  for (int e = 0; e < part_.nel(); ++e) {
+    for (int k = 0; k < n; ++k) {
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < n; ++i) {
+          double v = u_[f][idx++];
+          sum += jac * w[i] * w[j] * w[k] * v * v;
+        }
+      }
+    }
+  }
+  sum = comm_->allreduce_one(sum, comm::ReduceOp::kSum);
+  return std::sqrt(sum);
+}
+
+double Driver::integral(int f) {
+  const int n = config_.n;
+  const std::vector<double>& w = ops_.rule.weights;
+  const double jac = 0.125 * h_[0] * h_[1] * h_[2];
+  double sum = 0.0;
+  std::size_t idx = 0;
+  for (int e = 0; e < part_.nel(); ++e) {
+    for (int k = 0; k < n; ++k) {
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < n; ++i) {
+          sum += jac * w[i] * w[j] * w[k] * u_[f][idx++];
+        }
+      }
+    }
+  }
+  return comm_->allreduce_one(sum, comm::ReduceOp::kSum);
+}
+
+double Driver::linf_error(const FieldFunction& exact) {
+  const int n = config_.n;
+  double err = 0.0;
+  for (int f = 0; f < nfields(); ++f) {
+    std::size_t idx = 0;
+    for (int e = 0; e < part_.nel(); ++e) {
+      for (int k = 0; k < n; ++k) {
+        for (int j = 0; j < n; ++j) {
+          for (int i = 0; i < n; ++i) {
+            auto c = node_coords(e, i, j, k);
+            err = std::max(err,
+                           std::abs(u_[f][idx++] - exact(c[0], c[1], c[2], f)));
+          }
+        }
+      }
+    }
+  }
+  return comm_->allreduce_one(err, comm::ReduceOp::kMax);
+}
+
+}  // namespace cmtbone::core

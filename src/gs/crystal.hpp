@@ -1,0 +1,58 @@
+#pragma once
+// Crystal router: staged all-to-all record routing.
+//
+// The crystal router (Fox et al., used by Nek5000's gslib) delivers
+// arbitrary (destination, payload) records in ceil(log2 P) stages: the rank
+// range is bisected, every rank ships the records destined for the other
+// half to a partner there, and the algorithm recurses into each half. The
+// paper (§VI): "All-to-all communication using the crystal router exchange
+// is guaranteed to complete in log2 P stages."
+//
+// Works for any P (not just powers of two): when the halves are unequal the
+// extra lower rank ships to the last upper rank; correctness only requires
+// records to reach the right *half* each stage.
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "comm/comm.hpp"
+
+namespace cmtbone::gs {
+
+class CrystalRouter {
+ public:
+  explicit CrystalRouter(comm::Comm& comm) : comm_(&comm) {}
+
+  /// Route fixed-size records. `records` holds dest.size() records of
+  /// `record_bytes` each; `dest[i]` is record i's destination rank.
+  /// Returns the records delivered to this rank, concatenated (arrival
+  /// order unspecified). Collective.
+  std::vector<std::byte> route(std::span<const std::byte> records,
+                               std::span<const int> dest,
+                               std::size_t record_bytes);
+
+  /// Typed convenience: route a vector of trivially-copyable records.
+  template <class T>
+  std::vector<T> route_records(std::span<const T> records,
+                               std::span<const int> dest) {
+    auto bytes = route(
+        std::span<const std::byte>(
+            reinterpret_cast<const std::byte*>(records.data()),
+            records.size_bytes()),
+        dest, sizeof(T));
+    std::vector<T> out(bytes.size() / sizeof(T));
+    if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  /// Stages executed by the last route() call (== ceil(log2 P)).
+  int stages() const { return stages_; }
+
+ private:
+  comm::Comm* comm_;
+  int stages_ = 0;
+};
+
+}  // namespace cmtbone::gs

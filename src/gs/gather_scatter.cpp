@@ -1,0 +1,341 @@
+#include "gs/gather_scatter.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "prof/timer.hpp"
+
+namespace cmtbone::gs {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kPairwise: return "pairwise exchange";
+    case Method::kCrystalRouter: return "crystal router";
+    case Method::kAllReduce: return "all_reduce";
+    case Method::kAuto: return "auto";
+  }
+  return "?";
+}
+
+template <class T>
+T GatherScatter::identity(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return T(0);
+    case ReduceOp::kProd: return T(1);
+    case ReduceOp::kMin: return std::numeric_limits<T>::max();
+    case ReduceOp::kMax: return std::numeric_limits<T>::lowest();
+  }
+  return T(0);
+}
+
+GatherScatter::GatherScatter(comm::Comm& comm,
+                             std::span<const long long> slot_ids, Method method)
+    : comm_(&comm),
+      topo_(gs_setup(comm, slot_ids)),
+      method_(method),
+      router_(comm) {
+  // Pairwise plan: topo_.shared is sorted by id, so appending in order gives
+  // both sides of every pair an identical per-neighbor id ordering.
+  for (std::size_t s = 0; s < topo_.shared.size(); ++s) {
+    for (int r : topo_.shared[s].sharers) {
+      pairwise_plan_[r].push_back(int(s));
+    }
+  }
+
+  // Crystal plan: owner = min rank of the sharer set (which includes me).
+  owner_.resize(topo_.shared.size());
+  for (std::size_t s = 0; s < topo_.shared.size(); ++s) {
+    const SharedId& sh = topo_.shared[s];
+    int owner = comm.rank();
+    if (!sh.sharers.empty()) owner = std::min(owner, sh.sharers.front());
+    owner_[s] = owner;
+    if (owner == comm.rank()) {
+      owned_ids_.push_back(sh.id);
+      owned_shared_entry_.push_back(int(s));
+    }
+  }
+
+  if (method_ == Method::kAuto) method_ = tune();
+}
+
+void GatherScatter::exec(std::span<double> values, ReduceOp op) {
+  exec_impl<double>(values, 1, op, method_);
+}
+
+void GatherScatter::exec_with(std::span<double> values, ReduceOp op,
+                              Method method) {
+  exec_impl<double>(values, 1, op, method);
+}
+
+void GatherScatter::exec_many(std::span<double> values, int nfields,
+                              ReduceOp op) {
+  exec_impl<double>(values, nfields, op, method_);
+}
+
+void GatherScatter::exec_many_with(std::span<double> values, int nfields,
+                                   ReduceOp op, Method method) {
+  exec_impl<double>(values, nfields, op, method);
+}
+
+template <class T>
+void GatherScatter::exec_impl(std::span<T> values, int nfields, ReduceOp op,
+                              Method method) {
+  comm::SiteScope site("gs_op");
+  const std::size_t slots = values.size() / nfields;
+  const std::size_t nf = std::size_t(nfields);
+
+  // Phase 1: local gather — fold duplicate local copies per unique id.
+  // Unique values interleave fields per id (id major, field minor) so one
+  // exchange message carries all fields of an id contiguously.
+  std::vector<T> unique(topo_.unique_ids.size() * nf, identity<T>(op));
+  for (std::size_t s = 0; s < slots; ++s) {
+    T* u = unique.data() + topo_.unique_of_slot[s] * nf;
+    for (std::size_t f = 0; f < nf; ++f) {
+      u[f] = comm::apply(op, u[f], values[f * slots + s]);
+    }
+  }
+
+  // Phase 2: nonlocal exchange.
+  switch (method) {
+    case Method::kPairwise: exec_pairwise(unique, nfields, op); break;
+    case Method::kCrystalRouter: exec_crystal(unique, nfields, op); break;
+    case Method::kAllReduce: exec_allreduce(unique, nfields, op); break;
+    case Method::kAuto: exec_pairwise(unique, nfields, op); break;
+  }
+
+  // Phase 3: local scatter.
+  for (std::size_t s = 0; s < slots; ++s) {
+    const T* u = unique.data() + topo_.unique_of_slot[s] * nf;
+    for (std::size_t f = 0; f < nf; ++f) {
+      values[f * slots + s] = u[f];
+    }
+  }
+}
+
+// --- pairwise exchange -------------------------------------------------------
+
+template <class T>
+void GatherScatter::exec_pairwise(std::vector<T>& unique_values, int nfields,
+                                  ReduceOp op) {
+  comm::SiteScope site("gs_op.pairwise");
+  constexpr int kTag = 7;
+  const std::size_t nf = std::size_t(nfields);
+
+  // Snapshot outgoing values before any accumulation: each pair must see
+  // the peer's locally-gathered value, not a partially reduced one.
+  std::vector<std::vector<T>> sendbuf, recvbuf;
+  std::vector<comm::Request> reqs;
+  sendbuf.reserve(pairwise_plan_.size());
+  recvbuf.reserve(pairwise_plan_.size());
+  reqs.reserve(pairwise_plan_.size());
+  for (const auto& [neighbor, entries] : pairwise_plan_) {
+    recvbuf.emplace_back(entries.size() * nf);
+    reqs.push_back(comm_->irecv(std::span<T>(recvbuf.back()), neighbor, kTag));
+  }
+  for (const auto& [neighbor, entries] : pairwise_plan_) {
+    auto& buf = sendbuf.emplace_back();
+    buf.reserve(entries.size() * nf);
+    for (int s : entries) {
+      const T* u = unique_values.data() + topo_.shared[s].unique_index * nf;
+      buf.insert(buf.end(), u, u + nf);
+    }
+    comm_->isend(std::span<const T>(buf), neighbor, kTag);
+  }
+  comm_->waitall(reqs);
+
+  std::size_t b = 0;
+  for (const auto& [neighbor, entries] : pairwise_plan_) {
+    const std::vector<T>& buf = recvbuf[b++];
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      T* u = unique_values.data() + topo_.shared[entries[i]].unique_index * nf;
+      for (std::size_t f = 0; f < nf; ++f) {
+        u[f] = comm::apply(op, u[f], buf[i * nf + f]);
+      }
+    }
+  }
+}
+
+// --- crystal router ----------------------------------------------------------
+
+namespace {
+// Crystal records carry the id followed by nfields values; the byte-level
+// router keeps the record size dynamic per exec and per value type.
+template <class T>
+void append_record(std::vector<std::byte>* buf, long long id, const T* values,
+                   std::size_t nf) {
+  std::size_t old = buf->size();
+  buf->resize(old + sizeof(long long) + nf * sizeof(T));
+  std::memcpy(buf->data() + old, &id, sizeof(long long));
+  std::memcpy(buf->data() + old + sizeof(long long), values, nf * sizeof(T));
+}
+
+inline long long record_id(const std::byte* rec) {
+  long long id;
+  std::memcpy(&id, rec, sizeof(long long));
+  return id;
+}
+
+template <class T>
+const T* record_values(const std::byte* rec) {
+  return reinterpret_cast<const T*>(rec + sizeof(long long));
+}
+}  // namespace
+
+template <class T>
+void GatherScatter::exec_crystal(std::vector<T>& unique_values, int nfields,
+                                 ReduceOp op) {
+  comm::SiteScope site("gs_op.crystal");
+  const int me = comm_->rank();
+  const std::size_t nf = std::size_t(nfields);
+  const std::size_t record_bytes = sizeof(long long) + nf * sizeof(T);
+
+  // Pass 1: every sharer ships its gathered values to the id's owner.
+  std::vector<std::byte> outbound;
+  std::vector<int> outbound_dest;
+  for (std::size_t s = 0; s < topo_.shared.size(); ++s) {
+    if (owner_[s] == me) continue;
+    append_record(&outbound, topo_.shared[s].id,
+                  unique_values.data() + topo_.shared[s].unique_index * nf, nf);
+    outbound_dest.push_back(owner_[s]);
+  }
+  std::vector<std::byte> arrived =
+      router_.route(outbound, outbound_dest, record_bytes);
+
+  // Owner-side reduction into the owned entries.
+  for (std::size_t pos = 0; pos < arrived.size(); pos += record_bytes) {
+    const std::byte* rec = arrived.data() + pos;
+    auto it = std::lower_bound(owned_ids_.begin(), owned_ids_.end(),
+                               record_id(rec));
+    int s = owned_shared_entry_[it - owned_ids_.begin()];
+    T* u = unique_values.data() + topo_.shared[s].unique_index * nf;
+    const T* v = record_values<T>(rec);
+    for (std::size_t f = 0; f < nf; ++f) u[f] = comm::apply(op, u[f], v[f]);
+  }
+
+  // Pass 2: owners ship the reduced results back to every other sharer.
+  std::vector<std::byte> results;
+  std::vector<int> results_dest;
+  for (std::size_t o = 0; o < owned_ids_.size(); ++o) {
+    int s = owned_shared_entry_[o];
+    const T* u = unique_values.data() + topo_.shared[s].unique_index * nf;
+    for (int r : topo_.shared[s].sharers) {
+      append_record(&results, owned_ids_[o], u, nf);
+      results_dest.push_back(r);
+    }
+  }
+  std::vector<std::byte> incoming =
+      router_.route(results, results_dest, record_bytes);
+  for (std::size_t pos = 0; pos < incoming.size(); pos += record_bytes) {
+    const std::byte* rec = incoming.data() + pos;
+    // Find the shared entry by id (topo_.shared is sorted by id).
+    auto it = std::lower_bound(
+        topo_.shared.begin(), topo_.shared.end(), record_id(rec),
+        [](const SharedId& a, long long id) { return a.id < id; });
+    T* u = unique_values.data() + it->unique_index * nf;
+    std::memcpy(u, record_values<T>(rec), nf * sizeof(T));
+  }
+}
+
+// --- allreduce on a big vector ------------------------------------------------
+
+template <class T>
+void GatherScatter::exec_allreduce(std::vector<T>& unique_values, int nfields,
+                                   ReduceOp op) {
+  comm::SiteScope site("gs_op.all_reduce");
+  const std::size_t nf = std::size_t(nfields);
+  // The big vector spans the whole global id space (as in gslib), with the
+  // shared entries packed first; private entries ride along as identity and
+  // are never read back. This is what makes the method scale so poorly.
+  std::vector<T> big(std::size_t(topo_.total_global) * nf, identity<T>(op));
+  for (const SharedId& sh : topo_.shared) {
+    std::memcpy(big.data() + std::size_t(sh.shared_index) * nf,
+                unique_values.data() + sh.unique_index * nf, nf * sizeof(T));
+  }
+  comm_->allreduce(std::span<T>(big), op);
+  for (const SharedId& sh : topo_.shared) {
+    std::memcpy(unique_values.data() + sh.unique_index * nf,
+                big.data() + std::size_t(sh.shared_index) * nf,
+                nf * sizeof(T));
+  }
+}
+
+// --- startup tuning (the Fig. 7 measurement) -----------------------------------
+
+Method GatherScatter::tune(int repetitions) {
+  tuning_.clear();
+  const Method methods[] = {Method::kPairwise, Method::kCrystalRouter,
+                            Method::kAllReduce};
+  std::vector<double> dummy(topo_.unique_of_slot.size(), 1.0);
+
+  // The allreduce big vector spans the whole global id space; past this
+  // size the method cannot win and timing it would only burn memory and
+  // wall clock (the paper's "too expensive"). Record it as infinite.
+  constexpr long long kAllreduceTuneLimit = 1LL << 23;  // values (64 MiB)
+
+  double best_avg = std::numeric_limits<double>::infinity();
+  Method best = Method::kPairwise;
+  for (Method m : methods) {
+    if (m == Method::kAllReduce && topo_.total_global > kAllreduceTuneLimit) {
+      TuneRow row;
+      row.method = m;
+      row.avg = row.min = row.max = std::numeric_limits<double>::infinity();
+      tuning_.push_back(row);
+      continue;
+    }
+    // Warm-up once (first-touch allocation), then time.
+    exec_with(std::span<double>(dummy), ReduceOp::kSum, m);
+    comm_->barrier();
+    prof::WallTimer t;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      exec_with(std::span<double>(dummy), ReduceOp::kSum, m);
+    }
+    double mine = t.seconds() / repetitions;
+
+    TuneRow row;
+    row.method = m;
+    row.avg = comm_->allreduce_one(mine, ReduceOp::kSum) / comm_->size();
+    row.min = comm_->allreduce_one(mine, ReduceOp::kMin);
+    row.max = comm_->allreduce_one(mine, ReduceOp::kMax);
+    tuning_.push_back(row);
+    if (row.avg < best_avg) {
+      best_avg = row.avg;
+      best = m;
+    }
+  }
+  method_ = best;
+  return best;
+}
+
+// --- structure queries ----------------------------------------------------------
+
+std::vector<int> GatherScatter::pairwise_neighbors() const {
+  std::vector<int> out;
+  out.reserve(pairwise_plan_.size());
+  for (const auto& [rank, entries] : pairwise_plan_) {
+    (void)entries;
+    out.push_back(rank);
+  }
+  return out;
+}
+
+std::size_t GatherScatter::pairwise_send_values() const {
+  std::size_t v = 0;
+  for (const auto& [rank, entries] : pairwise_plan_) {
+    (void)rank;
+    v += entries.size();
+  }
+  return v;
+}
+
+// Instantiate the typed pipeline for gslib's datatype set.
+template void GatherScatter::exec_impl<double>(std::span<double>, int,
+                                               ReduceOp, Method);
+template void GatherScatter::exec_impl<float>(std::span<float>, int, ReduceOp,
+                                              Method);
+template void GatherScatter::exec_impl<int>(std::span<int>, int, ReduceOp,
+                                            Method);
+template void GatherScatter::exec_impl<long long>(std::span<long long>, int,
+                                                  ReduceOp, Method);
+
+}  // namespace cmtbone::gs

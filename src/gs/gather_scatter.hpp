@@ -1,0 +1,130 @@
+#pragma once
+// The gather-scatter handle: gs_setup + gs_op, reproducing Nek5000's gslib
+// as CMT-bone exercises it.
+//
+// A gs_op reduces, over every set of coincident GLL points (same global
+// id), the values held by all their local copies — across elements and
+// across ranks — and writes the result back to every copy. It proceeds in
+// three phases:
+//   1. local gather: fold this rank's duplicate copies into one value/id,
+//   2. nonlocal exchange: combine with the other sharer ranks using one of
+//      three algorithms — pairwise exchange, crystal router, or
+//      allreduce-on-a-big-vector (paper §VI),
+//   3. local scatter: write the reduced value back to every local copy.
+//
+// At construction with Method::kAuto the handle times all three algorithms
+// and keeps the fastest, exactly as CMT-nek/Nek5000 do at startup ("At the
+// beginning of each simulation, three gather-scatter methods are evaluated
+// to determine which one performs the best for the given problem setup and
+// machine"). The tuning table is retained — it is the content of Fig. 7.
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "gs/crystal.hpp"
+#include "gs/topology.hpp"
+
+namespace cmtbone::gs {
+
+using comm::ReduceOp;
+
+enum class Method { kPairwise, kCrystalRouter, kAllReduce, kAuto };
+
+const char* method_name(Method m);
+
+class GatherScatter {
+ public:
+  /// Collective. `slot_ids`: one global id per local data slot. With
+  /// kAuto, runs the startup tuning pass and picks the fastest method.
+  GatherScatter(comm::Comm& comm, std::span<const long long> slot_ids,
+                Method method = Method::kAuto);
+
+  /// gs_op: in-place gather-scatter over `values` (one per slot).
+  void exec(std::span<double> values, ReduceOp op);
+
+  /// Like exec, but with a specific algorithm (for benchmarking).
+  void exec_with(std::span<double> values, ReduceOp op, Method method);
+
+  /// gs_op over `nfields` fields at once (Nek's gs_op_fields): `values`
+  /// holds the fields back to back, each one slot-count long. All fields of
+  /// a shared id travel in the same message, so per-exec message *count*
+  /// stays flat while payload scales with nfields — the batching CMT-nek
+  /// relies on when exchanging the five conserved variables.
+  void exec_many(std::span<double> values, int nfields, ReduceOp op);
+  void exec_many_with(std::span<double> values, int nfields, ReduceOp op,
+                      Method method);
+
+  /// Typed gs_op, as gslib supports for its datatype set: T is one of
+  /// double, float, int, long long. Same semantics as exec/exec_many.
+  template <class T>
+  void exec_typed(std::span<T> values, ReduceOp op) {
+    exec_impl<T>(values, 1, op, method_);
+  }
+  template <class T>
+  void exec_many_typed(std::span<T> values, int nfields, ReduceOp op,
+                       Method method) {
+    exec_impl<T>(values, nfields, op, method);
+  }
+
+  Method method() const { return method_; }
+  const Topology& topology() const { return topo_; }
+
+  /// Per-method startup timing (seconds per gs_op), reduced across ranks.
+  /// Populated by the kAuto constructor or tune(); the rows of Fig. 7.
+  struct TuneRow {
+    Method method = Method::kPairwise;
+    double avg = 0, min = 0, max = 0;  // across ranks
+  };
+  const std::vector<TuneRow>& tuning() const { return tuning_; }
+
+  /// Run (or re-run) the startup tuning pass; returns the winner.
+  Method tune(int repetitions = 5);
+
+  // --- structure queries (for the communication-model benches) -----------
+  /// Ranks this rank exchanges with under the pairwise method.
+  std::vector<int> pairwise_neighbors() const;
+  /// Values this rank sends per pairwise exec.
+  std::size_t pairwise_send_values() const;
+  /// Size (in values) of the allreduce method's big vector (the whole
+  /// global id space, as in gslib).
+  long long big_vector_size() const { return topo_.total_global; }
+
+ private:
+  // The whole gs_op pipeline (local gather, exchange, local scatter) is
+  // templated over the value type; backends operate on locally-gathered
+  // unique values with `nfields` interleaved per unique id. Instantiated in
+  // the .cpp for double, float, int, long long.
+  template <class T>
+  void exec_impl(std::span<T> values, int nfields, ReduceOp op, Method method);
+  template <class T>
+  void exec_pairwise(std::vector<T>& unique_values, int nfields, ReduceOp op);
+  template <class T>
+  void exec_crystal(std::vector<T>& unique_values, int nfields, ReduceOp op);
+  template <class T>
+  void exec_allreduce(std::vector<T>& unique_values, int nfields, ReduceOp op);
+
+  template <class T>
+  static T identity(ReduceOp op);
+
+  comm::Comm* comm_;
+  Topology topo_;
+  Method method_;
+  std::vector<TuneRow> tuning_;
+
+  // Pairwise plan: per neighbor rank, the shared entries (as indices into
+  // topo_.shared, whose id order both sides agree on).
+  std::map<int, std::vector<int>> pairwise_plan_;
+
+  // Crystal plan: owner of each shared entry (min rank of the sharer set,
+  // including me); shared entries I own, keyed for arrival-time lookup.
+  std::vector<int> owner_;                    // per shared entry
+  std::vector<long long> owned_ids_;          // ascending ids I own
+  std::vector<int> owned_shared_entry_;       // topo_.shared index per owned id
+  CrystalRouter router_;
+
+};
+
+}  // namespace cmtbone::gs

@@ -1,0 +1,73 @@
+#include "io/checkpoint.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace cmtbone::io {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("checkpoint " + path + ": " + what);
+}
+}  // namespace
+
+void write_checkpoint(const std::string& path, const CheckpointHeader& header,
+                      std::span<const double* const> fields,
+                      std::size_t points) {
+  if (int(fields.size()) != header.nfields) {
+    fail(path, "field count does not match header");
+  }
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) fail(path, "cannot open for writing");
+  if (std::fwrite(&header, sizeof header, 1, f.get()) != 1) {
+    fail(path, "header write failed");
+  }
+  for (const double* field : fields) {
+    if (std::fwrite(field, sizeof(double), points, f.get()) != points) {
+      fail(path, "payload write failed");
+    }
+  }
+  if (std::fflush(f.get()) != 0) fail(path, "flush failed");
+}
+
+CheckpointHeader read_checkpoint(const std::string& path,
+                                 std::vector<std::vector<double>>* fields) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) fail(path, "cannot open for reading");
+  CheckpointHeader header;
+  if (std::fread(&header, sizeof header, 1, f.get()) != 1) {
+    fail(path, "header read failed");
+  }
+  CheckpointHeader expected;
+  if (header.magic != expected.magic) fail(path, "bad magic");
+  if (header.version != expected.version) fail(path, "unsupported version");
+  if (header.n < 2 || header.nel < 0 || header.nfields < 0) {
+    fail(path, "implausible header");
+  }
+  const std::size_t points =
+      std::size_t(header.n) * header.n * header.n * header.nel;
+  fields->assign(header.nfields, std::vector<double>(points));
+  for (auto& field : *fields) {
+    if (std::fread(field.data(), sizeof(double), points, f.get()) != points) {
+      fail(path, "payload read failed (truncated?)");
+    }
+  }
+  return header;
+}
+
+std::string rank_checkpoint_path(const std::string& directory,
+                                 const std::string& prefix, int rank) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%05d", rank);
+  return directory + "/" + prefix + ".r" + buf + ".chk";
+}
+
+}  // namespace cmtbone::io

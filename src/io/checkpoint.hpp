@@ -1,0 +1,44 @@
+#pragma once
+// Per-rank binary checkpointing of field data.
+//
+// Production Nek runs checkpoint conserved variables so long simulations
+// survive machine faults; the mini-app carries the same capability so its
+// I/O phase can be profiled alongside compute and comm. Format: a fixed
+// little-endian header (magic, version, n, nel, nfields, steps, time)
+// followed by the raw field payload. One file per rank, as Nek5000 does in
+// its one-file-per-processor mode.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cmtbone::io {
+
+struct CheckpointHeader {
+  std::uint64_t magic = 0x434d54424f4e4531ull;  // "CMTBONE1"
+  std::uint32_t version = 1;
+  std::int32_t n = 0;
+  std::int32_t nel = 0;
+  std::int32_t nfields = 0;
+  std::int64_t steps = 0;
+  double time = 0.0;
+};
+
+/// Write fields (each `points` doubles) to `path`. Throws std::runtime_error
+/// on I/O failure.
+void write_checkpoint(const std::string& path, const CheckpointHeader& header,
+                      std::span<const double* const> fields,
+                      std::size_t points);
+
+/// Read a checkpoint; returns the header and fills `fields` (resized to
+/// header.nfields vectors of the stored point count). Validates magic,
+/// version, and payload size.
+CheckpointHeader read_checkpoint(const std::string& path,
+                                 std::vector<std::vector<double>>* fields);
+
+/// Conventional per-rank checkpoint file name.
+std::string rank_checkpoint_path(const std::string& directory,
+                                 const std::string& prefix, int rank);
+
+}  // namespace cmtbone::io

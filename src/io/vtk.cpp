@@ -1,0 +1,55 @@
+#include "io/vtk.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace cmtbone::io {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+}  // namespace
+
+void write_vtk_points(
+    const std::string& path, std::size_t points,
+    const std::function<std::array<double, 3>(std::size_t)>& coords,
+    const std::vector<std::pair<std::string, std::span<const double>>>& fields) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "w"));
+  if (!f) throw std::runtime_error("vtk: cannot open " + path);
+  std::FILE* out = f.get();
+
+  std::fprintf(out, "# vtk DataFile Version 3.0\n");
+  std::fprintf(out, "cmtbone spectral-element field export\n");
+  std::fprintf(out, "ASCII\n");
+  std::fprintf(out, "DATASET UNSTRUCTURED_GRID\n");
+  std::fprintf(out, "POINTS %zu double\n", points);
+  for (std::size_t p = 0; p < points; ++p) {
+    auto c = coords(p);
+    std::fprintf(out, "%.12g %.12g %.12g\n", c[0], c[1], c[2]);
+  }
+  std::fprintf(out, "CELLS %zu %zu\n", points, 2 * points);
+  for (std::size_t p = 0; p < points; ++p) {
+    std::fprintf(out, "1 %zu\n", p);
+  }
+  std::fprintf(out, "CELL_TYPES %zu\n", points);
+  for (std::size_t p = 0; p < points; ++p) {
+    std::fprintf(out, "1\n");  // VTK_VERTEX
+  }
+  std::fprintf(out, "POINT_DATA %zu\n", points);
+  for (const auto& [name, values] : fields) {
+    if (values.size() != points) {
+      throw std::runtime_error("vtk: field " + name + " has wrong size");
+    }
+    std::fprintf(out, "SCALARS %s double 1\nLOOKUP_TABLE default\n",
+                 name.c_str());
+    for (std::size_t p = 0; p < points; ++p) {
+      std::fprintf(out, "%.12g\n", values[p]);
+    }
+  }
+}
+
+}  // namespace cmtbone::io

@@ -1,0 +1,24 @@
+#pragma once
+// Legacy-VTK export of spectral-element fields for visualization.
+//
+// Each GLL point becomes a VTK vertex carrying the field values; ParaView
+// (or any VTK reader) can render the point cloud or resample it. One file
+// per rank; a driver-level helper stitches the naming.
+
+#include <array>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cmtbone::io {
+
+/// Write a legacy-VTK (ASCII, UNSTRUCTURED_GRID of vertices) file.
+/// `coords(p)` returns the physical position of point p in [0, points);
+/// each entry of `fields` is {name, values} with values.size() == points.
+void write_vtk_points(
+    const std::string& path, std::size_t points,
+    const std::function<std::array<double, 3>(std::size_t)>& coords,
+    const std::vector<std::pair<std::string, std::span<const double>>>& fields);
+
+}  // namespace cmtbone::io

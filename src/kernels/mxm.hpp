@@ -1,0 +1,24 @@
+#pragma once
+// Small-matrix multiply, the workhorse of the spectral element solver.
+//
+// Nek5000's `mxm(a,n1,b,n2,c,n3)` computes C = A*B for column-major
+// matrices A(n1,n2), B(n2,n3), C(n1,n3). The derivative, dealiasing, and
+// Nekbone stiffness kernels are all expressed through it (paper §IV-V).
+
+#include <cstddef>
+
+namespace cmtbone::kernels {
+
+/// C(n1,n3) = A(n1,n2) * B(n2,n3), column-major, C overwritten.
+void mxm(const double* a, int n1, const double* b, int n2, double* c, int n3);
+
+/// C += A * B (accumulating form, used by the Nekbone operator).
+void mxm_acc(const double* a, int n1, const double* b, int n2, double* c,
+             int n3);
+
+/// Flop count of one mxm call (multiplies + adds).
+inline long long mxm_flops(int n1, int n2, int n3) {
+  return 2LL * n1 * n2 * n3;
+}
+
+}  // namespace cmtbone::kernels

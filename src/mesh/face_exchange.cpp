@@ -1,0 +1,148 @@
+#include "mesh/face_exchange.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace cmtbone::mesh {
+
+namespace {
+constexpr int kTagBase = 64;  // p2p tags 64..69, one per direction
+
+std::array<int, 3> face_delta(int f) {
+  std::array<int, 3> d = {0, 0, 0};
+  d[face_axis(f)] = face_side(f) == 0 ? -1 : 1;
+  return d;
+}
+}  // namespace
+
+FaceExchange::FaceExchange(comm::Comm& comm, const Partition& part)
+    : comm_(&comm), n_(part.spec().n), nel_(part.nel()) {
+  const BoxSpec& spec = part.spec();
+  const std::array<int, 3> extent = {spec.ex, spec.ey, spec.ez};
+
+  std::array<DirPlan, kFacesPerElement> dir_plans;
+  for (int f = 0; f < kFacesPerElement; ++f) dir_plans[f].dir = f;
+
+  // Elements in local lexicographic order means plane elements appear in
+  // transverse-lexicographic order automatically, and adjacent ranks'
+  // matching planes share the transverse ranges — so both sides enumerate
+  // the paired faces identically.
+  for (int e = 0; e < nel_; ++e) {
+    auto g = part.global_coords(e);
+    for (int f = 0; f < kFacesPerElement; ++f) {
+      auto d = face_delta(f);
+      std::array<int, 3> ng = {g[0] + d[0], g[1] + d[1], g[2] + d[2]};
+      bool outside_global = false;
+      for (int ax = 0; ax < 3; ++ax) {
+        if (ng[ax] < 0 || ng[ax] >= extent[ax]) {
+          if (spec.periodic) {
+            ng[ax] = (ng[ax] + extent[ax]) % extent[ax];
+          } else {
+            outside_global = true;
+          }
+        }
+      }
+      if (outside_global) {
+        // Physical boundary: mirror the element's own face.
+        local_.push_back({e, f, e, f});
+        continue;
+      }
+      if (ng[0] >= part.x0() && ng[0] < part.x1() && ng[1] >= part.y0() &&
+          ng[1] < part.y1() && ng[2] >= part.z0() && ng[2] < part.z1()) {
+        int ne = part.local_index(ng[0], ng[1], ng[2]);
+        local_.push_back({ne, opposite_face(f), e, f});
+      } else {
+        dir_plans[f].elems.push_back(e);
+      }
+    }
+  }
+
+  for (int f = 0; f < kFacesPerElement; ++f) {
+    if (dir_plans[f].elems.empty()) continue;
+    auto d = face_delta(f);
+    dir_plans[f].partner = part.neighbor_rank(d[0], d[1], d[2]);
+    plans_.push_back(std::move(dir_plans[f]));
+  }
+  sendbuf_.resize(plans_.size());
+  recvbuf_.resize(plans_.size());
+}
+
+void FaceExchange::exchange(const double* myfaces, double* nbrfaces,
+                            int nfields) {
+  comm::SiteScope site("full2face_cmt.exchange");
+  const std::size_t fpts = std::size_t(n_) * n_;
+  const std::size_t field_stride = face_array_size(n_, nel_);
+
+  // Post receives first: the payload arriving from partner(d) was sent as
+  // their face opposite(dir), which is exactly my `dir` neighbor data.
+  std::vector<comm::Request> recv_reqs;
+  recv_reqs.reserve(plans_.size());
+  for (std::size_t p = 0; p < plans_.size(); ++p) {
+    const DirPlan& plan = plans_[p];
+    recvbuf_[p].resize(plan.elems.size() * fpts * nfields);
+    recv_reqs.push_back(comm_->irecv(
+        std::span<double>(recvbuf_[p]), plan.partner,
+        kTagBase + opposite_face(plan.dir)));
+  }
+
+  for (std::size_t p = 0; p < plans_.size(); ++p) {
+    const DirPlan& plan = plans_[p];
+    sendbuf_[p].resize(plan.elems.size() * fpts * nfields);
+    double* out = sendbuf_[p].data();
+    for (int fd = 0; fd < nfields; ++fd) {
+      const double* field = myfaces + fd * field_stride;
+      for (int e : plan.elems) {
+        std::memcpy(out, field + face_offset(plan.dir, e, n_),
+                    fpts * sizeof(double));
+        out += fpts;
+      }
+    }
+    comm_->isend(std::span<const double>(sendbuf_[p]), plan.partner,
+                 kTagBase + plan.dir);
+  }
+
+  comm_->waitall(recv_reqs);
+
+  for (std::size_t p = 0; p < plans_.size(); ++p) {
+    const DirPlan& plan = plans_[p];
+    const double* in = recvbuf_[p].data();
+    for (int fd = 0; fd < nfields; ++fd) {
+      double* field = nbrfaces + fd * field_stride;
+      for (int e : plan.elems) {
+        std::memcpy(field + face_offset(plan.dir, e, n_), in,
+                    fpts * sizeof(double));
+        in += fpts;
+      }
+    }
+  }
+
+  // Interior (and physical-boundary mirror) copies.
+  for (int fd = 0; fd < nfields; ++fd) {
+    const double* src_field = myfaces + fd * field_stride;
+    double* dst_field = nbrfaces + fd * field_stride;
+    for (const LocalCopy& c : local_) {
+      std::memcpy(dst_field + face_offset(c.dst_f, c.dst_e, n_),
+                  src_field + face_offset(c.src_f, c.src_e, n_),
+                  fpts * sizeof(double));
+    }
+  }
+}
+
+long long FaceExchange::send_bytes_per_exchange(int nfields) const {
+  long long bytes = 0;
+  for (const DirPlan& plan : plans_) {
+    bytes += 1LL * plan.elems.size() * n_ * n_ * nfields * sizeof(double);
+  }
+  return bytes;
+}
+
+int FaceExchange::remote_partner_count() const {
+  std::vector<int> partners;
+  for (const DirPlan& plan : plans_) partners.push_back(plan.partner);
+  std::sort(partners.begin(), partners.end());
+  partners.erase(std::unique(partners.begin(), partners.end()), partners.end());
+  return int(partners.size());
+}
+
+}  // namespace cmtbone::mesh

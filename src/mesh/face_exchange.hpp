@@ -1,0 +1,56 @@
+#pragma once
+// Nearest-neighbor surface-data exchange for the DG numerical-flux term.
+//
+// The paper's CMT-bone evaluates the numerical flux "on the surface of the
+// elements which involves surface data exchange between nearest neighbors"
+// (§IV). This class builds the exchange plan once (which faces are interior
+// copies, which cross a partition boundary and to whom) and then moves any
+// number of fields per call with Isend/Irecv/Waitall — the message pattern
+// the paper's Figs. 8-10 profile.
+
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "mesh/faces.hpp"
+#include "mesh/partition.hpp"
+
+namespace cmtbone::mesh {
+
+class FaceExchange {
+ public:
+  FaceExchange(comm::Comm& comm, const Partition& part);
+
+  /// Fill `nbrfaces` with, for every (element, face), the face values of the
+  /// geometric neighbor element. Both arrays hold `nfields` stacked face
+  /// arrays of face_array_size(n, nel) doubles each. Faces on a physical
+  /// (non-periodic) boundary receive the element's own face values.
+  void exchange(const double* myfaces, double* nbrfaces, int nfields);
+
+  /// Payload bytes this rank sends per exchange call.
+  long long send_bytes_per_exchange(int nfields) const;
+
+  /// Number of distinct remote partners (<= 6 on a structured partition).
+  int remote_partner_count() const;
+
+ private:
+  struct LocalCopy {
+    int src_e, src_f;  // read myfaces(src_e, src_f)
+    int dst_e, dst_f;  // write nbrfaces(dst_e, dst_f)
+  };
+
+  struct DirPlan {
+    int dir = -1;      // my face id whose neighbors live on `partner`
+    int partner = -1;  // remote rank
+    std::vector<int> elems;  // plane elements, transverse-lexicographic order
+  };
+
+  comm::Comm* comm_;
+  int n_ = 0;
+  int nel_ = 0;
+  std::vector<LocalCopy> local_;
+  std::vector<DirPlan> plans_;
+  std::vector<std::vector<double>> sendbuf_;  // one per plan
+  std::vector<std::vector<double>> recvbuf_;
+};
+
+}  // namespace cmtbone::mesh

@@ -1,0 +1,91 @@
+#include "netmodel/calibrate.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "prof/timer.hpp"
+
+namespace cmtbone::netmodel {
+
+LogGPParams calibrate(comm::Comm& comm, int pingpong_reps,
+                      std::size_t bulk_bytes) {
+  LogGPParams params;
+  params.name = "calibrated";
+  constexpr int kTag = 31;
+
+  const int me = comm.rank();
+  comm.barrier();
+
+  if (me == 0 || me == 1) {
+    const int peer = 1 - me;
+
+    // --- latency: small-message ping-pong --------------------------------
+    double byte_token = 0.0;
+    std::span<double> token(&byte_token, 1);
+    prof::WallTimer t;
+    for (int r = 0; r < pingpong_reps; ++r) {
+      if (me == 0) {
+        comm.send(std::span<const double>(token), peer, kTag);
+        comm.recv(token, peer, kTag);
+      } else {
+        comm.recv(token, peer, kTag);
+        comm.send(std::span<const double>(token), peer, kTag);
+      }
+    }
+    params.latency = t.seconds() / pingpong_reps / 2.0;
+
+    // --- overhead: posting eager isends ----------------------------------
+    if (me == 0) {
+      prof::WallTimer to;
+      for (int r = 0; r < pingpong_reps; ++r) {
+        comm.isend(std::span<const double>(token), peer, kTag);
+      }
+      params.overhead = to.seconds() / pingpong_reps;
+    } else {
+      for (int r = 0; r < pingpong_reps; ++r) {
+        comm.recv(token, peer, kTag);
+      }
+    }
+
+    // --- bandwidth: bulk transfer above latency ---------------------------
+    std::vector<double> bulk(bulk_bytes / sizeof(double), 1.0);
+    const int bulk_reps = 8;
+    prof::WallTimer tb;
+    for (int r = 0; r < bulk_reps; ++r) {
+      if (me == 0) {
+        comm.send(std::span<const double>(bulk), peer, kTag);
+        comm.recv(std::span<double>(bulk), peer, kTag);
+      } else {
+        comm.recv(std::span<double>(bulk), peer, kTag);
+        comm.send(std::span<const double>(bulk), peer, kTag);
+      }
+    }
+    double per_message = tb.seconds() / bulk_reps / 2.0;
+    double wire = std::max(per_message - params.latency, 1e-12);
+    params.bandwidth = double(bulk_bytes) / wire;
+  }
+
+  // --- compute rate: local elementwise reduce (every rank, take rank 0's)
+  {
+    std::vector<double> a(1 << 16, 1.0), b(1 << 16, 2.0);
+    prof::WallTimer tc;
+    const int reps = 16;
+    for (int r = 0; r < reps; ++r) {
+      for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+    }
+    double per_value = tc.seconds() / reps / double(a.size());
+    params.compute_rate = 1.0 / std::max(per_value, 1e-12);
+  }
+
+  // Share rank 0's measurements with everyone.
+  double packed[4] = {params.latency, params.overhead, params.bandwidth,
+                      params.compute_rate};
+  comm.bcast(std::span<double>(packed, 4), 0);
+  params.latency = packed[0];
+  params.overhead = packed[1];
+  params.bandwidth = packed[2];
+  params.compute_rate = packed[3];
+  return params;
+}
+
+}  // namespace cmtbone::netmodel

@@ -1,0 +1,24 @@
+#pragma once
+// LogGP parameter calibration against the live message-passing runtime.
+//
+// The paper's §VI point is that network models need machine parameters
+// measured on the target. This measures them for whatever fabric the
+// library is running on — here the in-process runtime, on a cluster an MPI
+// build would measure the real interconnect — so model predictions can be
+// validated against measured gs_op times (bench/netmodel_validation).
+
+#include "comm/comm.hpp"
+#include "netmodel/loggp.hpp"
+
+namespace cmtbone::netmodel {
+
+/// Measure LogGP parameters using ranks 0 and 1 of `comm` (collective;
+/// needs size >= 2; the result is broadcast to all ranks):
+///   latency    half the small-message ping-pong round trip,
+///   overhead   cost of posting one eager isend,
+///   bandwidth  from the large-message transfer time above latency,
+///   compute    elementwise-reduce rate of one rank.
+LogGPParams calibrate(comm::Comm& comm, int pingpong_reps = 200,
+                      std::size_t bulk_bytes = 1 << 20);
+
+}  // namespace cmtbone::netmodel

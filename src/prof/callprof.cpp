@@ -1,0 +1,133 @@
+#include "prof/callprof.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+namespace cmtbone::prof {
+
+CallNode* CallNode::child(const std::string& child_name) {
+  auto& slot = children[child_name];
+  if (!slot) {
+    slot = std::make_unique<CallNode>();
+    slot->name = child_name;
+  }
+  return slot.get();
+}
+
+double CallNode::exclusive_seconds() const {
+  double s = seconds;
+  for (const auto& [name, node] : children) {
+    (void)name;
+    s -= node->seconds;
+  }
+  return s;
+}
+
+CallProfile::CallProfile() : root_(std::make_unique<CallNode>()) {
+  root_->name = "<root>";
+  stack_.push_back(root_.get());
+}
+
+void CallProfile::enter(const std::string& name) {
+  CallNode* node = stack_.back()->child(name);
+  node->calls += 1;
+  stack_.push_back(node);
+}
+
+void CallProfile::leave(double seconds) {
+  stack_.back()->seconds += seconds;
+  stack_.pop_back();
+}
+
+void CallProfile::merge(const CallProfile& other) {
+  std::function<void(CallNode&, const CallNode&)> rec =
+      [&rec](CallNode& dst, const CallNode& src) {
+        dst.calls += src.calls;
+        dst.seconds += src.seconds;
+        for (const auto& [name, child] : src.children) {
+          rec(*dst.child(name), *child);
+        }
+      };
+  rec(*root_, other.root());
+}
+
+std::vector<CallProfile::FlatEntry> CallProfile::flat() const {
+  std::map<std::string, FlatEntry> acc;
+  std::function<void(const CallNode&)> rec = [&](const CallNode& node) {
+    if (node.name != "<root>") {
+      FlatEntry& e = acc[node.name];
+      e.name = node.name;
+      e.calls += node.calls;
+      e.inclusive += node.seconds;
+      e.exclusive += node.exclusive_seconds();
+    }
+    for (const auto& [name, child] : node.children) {
+      (void)name;
+      rec(*child);
+    }
+  };
+  rec(*root_);
+
+  std::vector<FlatEntry> out;
+  out.reserve(acc.size());
+  for (auto& [name, e] : acc) {
+    (void)name;
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(), [](const FlatEntry& a, const FlatEntry& b) {
+    return a.exclusive > b.exclusive;
+  });
+  return out;
+}
+
+double CallProfile::total_seconds() const {
+  double s = 0.0;
+  for (const auto& [name, child] : root_->children) {
+    (void)name;
+    s += child->seconds;
+  }
+  return s;
+}
+
+std::string CallProfile::tree_report() const {
+  std::ostringstream os;
+  double total = total_seconds();
+  if (total <= 0.0) total = 1.0;
+  std::function<void(const CallNode&, int)> rec = [&](const CallNode& node,
+                                                      int depth) {
+    if (node.name != "<root>") {
+      char buf[256];
+      std::snprintf(buf, sizeof buf, "%*s%-*s %10.4fs %6.1f%% calls=%ld\n",
+                    depth * 2, "", 36 - depth * 2, node.name.c_str(),
+                    node.seconds, 100.0 * node.seconds / total, node.calls);
+      os << buf;
+    }
+    // Children ordered by inclusive time, heaviest first.
+    std::vector<const CallNode*> kids;
+    for (const auto& [name, child] : node.children) {
+      (void)name;
+      kids.push_back(child.get());
+    }
+    std::sort(kids.begin(), kids.end(), [](const CallNode* a, const CallNode* b) {
+      return a->seconds > b->seconds;
+    });
+    for (const CallNode* kid : kids) rec(*kid, depth + 1);
+  };
+  rec(*root_, -1);
+  return os.str();
+}
+
+namespace {
+thread_local std::unique_ptr<CallProfile> t_profile;
+}
+
+CallProfile& thread_profile() {
+  if (!t_profile) t_profile = std::make_unique<CallProfile>();
+  return *t_profile;
+}
+
+void reset_thread_profile() { t_profile = std::make_unique<CallProfile>(); }
+
+}  // namespace cmtbone::prof

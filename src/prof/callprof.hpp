@@ -1,0 +1,84 @@
+#pragma once
+// Call-tree profiler: the stand-in for the gprof profile in the paper's
+// Fig. 4 ("Partial CMT-bone call graph and execution profile").
+//
+// Usage: wrap regions in ScopedRegion. Each thread keeps its own tree (no
+// locks on the hot path); trees from all ranks are merged for reporting.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prof/timer.hpp"
+
+namespace cmtbone::prof {
+
+struct CallNode {
+  std::string name;
+  long calls = 0;
+  double seconds = 0.0;  // inclusive
+  std::map<std::string, std::unique_ptr<CallNode>> children;
+
+  CallNode* child(const std::string& child_name);
+  /// Inclusive time minus children's inclusive time.
+  double exclusive_seconds() const;
+};
+
+/// One thread's (rank's) call tree.
+class CallProfile {
+ public:
+  CallProfile();
+
+  void enter(const std::string& name);
+  void leave(double seconds);
+
+  const CallNode& root() const { return *root_; }
+  CallNode& mutable_root() { return *root_; }
+
+  /// Merge `other` into this tree (used to aggregate ranks).
+  void merge(const CallProfile& other);
+
+  /// Flat profile: name -> {calls, inclusive, exclusive} summed over all
+  /// occurrences in the tree.
+  struct FlatEntry {
+    std::string name;
+    long calls = 0;
+    double inclusive = 0.0;
+    double exclusive = 0.0;
+  };
+  std::vector<FlatEntry> flat() const;
+
+  /// Total profiled time (sum of root children inclusive).
+  double total_seconds() const;
+
+  /// gprof-style indented tree rendering with percentages of total.
+  std::string tree_report() const;
+
+ private:
+  std::unique_ptr<CallNode> root_;
+  std::vector<CallNode*> stack_;
+};
+
+/// Profile for the current thread. Each rank thread gets its own instance.
+CallProfile& thread_profile();
+/// Reset the current thread's profile (between benchmark repetitions).
+void reset_thread_profile();
+
+/// RAII region marker on the current thread's profile.
+class ScopedRegion {
+ public:
+  explicit ScopedRegion(const std::string& name) {
+    thread_profile().enter(name);
+    timer_.restart();
+  }
+  ~ScopedRegion() { thread_profile().leave(timer_.seconds()); }
+
+  ScopedRegion(const ScopedRegion&) = delete;
+  ScopedRegion& operator=(const ScopedRegion&) = delete;
+
+ private:
+  WallTimer timer_;
+};
+
+}  // namespace cmtbone::prof

@@ -1,0 +1,144 @@
+#include "prof/commprof.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/table.hpp"
+
+namespace cmtbone::prof {
+
+CommProfiler::CommProfiler(int nranks)
+    : nranks_(nranks), per_rank_(nranks), walltime_(nranks, 0.0) {}
+
+void CommProfiler::record(int rank, const std::string& site, double seconds,
+                          long long bytes) {
+  assert(rank >= 0 && rank < nranks_);
+  CommStat& s = per_rank_[rank][site];
+  s.calls += 1;
+  s.seconds += seconds;
+  s.bytes += bytes;
+}
+
+void CommProfiler::set_rank_walltime(int rank, double seconds) {
+  assert(rank >= 0 && rank < nranks_);
+  walltime_[rank] = seconds;
+}
+
+void CommProfiler::reset() {
+  for (auto& m : per_rank_) m.clear();
+  std::fill(walltime_.begin(), walltime_.end(), 0.0);
+}
+
+double CommProfiler::rank_comm_seconds(int rank) const {
+  double s = 0.0;
+  for (const auto& [site, stat] : per_rank_[rank]) {
+    (void)site;
+    s += stat.seconds;
+  }
+  return s;
+}
+
+double CommProfiler::rank_walltime(int rank) const { return walltime_[rank]; }
+
+std::vector<double> CommProfiler::comm_fraction_per_rank() const {
+  std::vector<double> out(nranks_, 0.0);
+  for (int r = 0; r < nranks_; ++r) {
+    double wall = walltime_[r];
+    if (wall > 0.0) out[r] = rank_comm_seconds(r) / wall;
+  }
+  return out;
+}
+
+std::vector<CommProfiler::SiteTotal> CommProfiler::site_totals() const {
+  std::map<std::string, SiteTotal> acc;
+  for (const auto& rank_map : per_rank_) {
+    for (const auto& [site, stat] : rank_map) {
+      SiteTotal& t = acc[site];
+      t.site = site;
+      t.calls += stat.calls;
+      t.seconds += stat.seconds;
+      t.total_bytes += stat.bytes;
+    }
+  }
+  std::vector<SiteTotal> out;
+  out.reserve(acc.size());
+  for (auto& [site, t] : acc) {
+    (void)site;
+    t.avg_bytes = t.calls > 0 ? double(t.total_bytes) / double(t.calls) : 0.0;
+    out.push_back(t);
+  }
+  std::sort(out.begin(), out.end(), [](const SiteTotal& a, const SiteTotal& b) {
+    return a.seconds > b.seconds;
+  });
+  return out;
+}
+
+std::vector<CommProfiler::SiteTotal> CommProfiler::top_sites(int n) const {
+  auto all = site_totals();
+  if (int(all.size()) > n) all.resize(n);
+  return all;
+}
+
+const std::map<std::string, CommStat>& CommProfiler::rank_sites(int rank) const {
+  return per_rank_[rank];
+}
+
+util::Table CommProfiler::table_fraction_per_rank() const {
+  util::Table t({"rank", "wall (s)", "comm (s)", "% in comm"});
+  t.set_title("Time spent by each rank in communication routines (Fig. 8)");
+  auto frac = comm_fraction_per_rank();
+  for (int r = 0; r < nranks_; ++r) {
+    t.add_row({std::to_string(r), util::Table::num(walltime_[r], 4),
+               util::Table::num(rank_comm_seconds(r), 4),
+               util::Table::pct(frac[r])});
+  }
+  return t;
+}
+
+util::Table CommProfiler::table_top_sites(int n) const {
+  util::Table t({"call site", "calls", "time (s)", "% of comm time"});
+  t.set_title("Time spent in the top " + std::to_string(n) +
+              " comm call sites (Fig. 9)");
+  auto sites = site_totals();
+  double total = 0.0;
+  for (const auto& s : sites) total += s.seconds;
+  if (total <= 0.0) total = 1.0;
+  int shown = 0;
+  for (const auto& s : sites) {
+    if (shown++ == n) break;
+    t.add_row({s.site, std::to_string(s.calls), util::Table::num(s.seconds, 6),
+               util::Table::pct(s.seconds / total)});
+  }
+  return t;
+}
+
+util::Table CommProfiler::table_message_sizes(int n) const {
+  util::Table t({"call site", "calls", "total bytes", "avg bytes/msg"});
+  t.set_title("Total and average message sizes per comm call site (Fig. 10)");
+  auto sites = site_totals();
+  // Fig. 10 covers the most frequently *called* sites that move data.
+  std::sort(sites.begin(), sites.end(),
+            [](const SiteTotal& a, const SiteTotal& b) { return a.calls > b.calls; });
+  int shown = 0;
+  for (const auto& s : sites) {
+    if (s.total_bytes == 0) continue;
+    if (shown++ == n) break;
+    t.add_row({s.site, std::to_string(s.calls), std::to_string(s.total_bytes),
+               util::Table::num(s.avg_bytes, 1)});
+  }
+  return t;
+}
+
+std::string CommProfiler::report_fraction_per_rank() const {
+  return table_fraction_per_rank().str();
+}
+
+std::string CommProfiler::report_top_sites(int n) const {
+  return table_top_sites(n).str();
+}
+
+std::string CommProfiler::report_message_sizes(int n) const {
+  return table_message_sizes(n).str();
+}
+
+}  // namespace cmtbone::prof

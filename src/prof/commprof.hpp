@@ -1,0 +1,87 @@
+#pragma once
+// Communication profiler: the stand-in for mpiP in the paper's Figs. 8-10.
+//
+// The message-passing runtime (src/comm) reports every operation here with
+// a call-site label, elapsed time, and byte count. Each rank owns a private
+// slot, so recording is lock-free with respect to other ranks; reports
+// aggregate across ranks after the parallel region ends.
+//
+// Reports provided:
+//   * per-rank % of wall time spent in comm ops        (Fig. 8)
+//   * top-N call sites by aggregate time               (Fig. 9)
+//   * total / average message size per call site       (Fig. 10)
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace cmtbone::prof {
+
+struct CommStat {
+  long calls = 0;
+  double seconds = 0.0;
+  long long bytes = 0;  // payload bytes moved by this site (0 for waits)
+};
+
+class CommProfiler {
+ public:
+  explicit CommProfiler(int nranks);
+
+  int nranks() const { return nranks_; }
+
+  /// Record one comm operation on `rank`. `site` identifies the call site
+  /// ("gs_pairwise/MPI_Isend", "driver/MPI_Allreduce", ...). Only `rank`'s
+  /// thread may call this for a given rank — that is what makes it safe
+  /// without locks.
+  void record(int rank, const std::string& site, double seconds,
+              long long bytes);
+
+  /// Mark total wall time of the profiled region for `rank` (denominator of
+  /// the Fig. 8 percentages).
+  void set_rank_walltime(int rank, double seconds);
+
+  /// Zero all stats (between benchmark repetitions).
+  void reset();
+
+  // --- queries -----------------------------------------------------------
+
+  double rank_comm_seconds(int rank) const;
+  double rank_walltime(int rank) const;
+  /// Fraction of rank wall time spent in comm ops, per rank (Fig. 8).
+  std::vector<double> comm_fraction_per_rank() const;
+
+  struct SiteTotal {
+    std::string site;
+    long calls = 0;
+    double seconds = 0.0;
+    long long total_bytes = 0;
+    double avg_bytes = 0.0;
+  };
+  /// All sites aggregated over ranks, sorted by time descending.
+  std::vector<SiteTotal> site_totals() const;
+  /// Top `n` sites by aggregate time (Fig. 9 uses n = 20).
+  std::vector<SiteTotal> top_sites(int n) const;
+
+  /// Aggregate stats for one rank.
+  const std::map<std::string, CommStat>& rank_sites(int rank) const;
+
+  // --- reports ------------------------------------------------------------
+
+  util::Table table_fraction_per_rank() const;              // Fig. 8
+  util::Table table_top_sites(int n) const;                 // Fig. 9
+  util::Table table_message_sizes(int n) const;             // Fig. 10
+
+  std::string report_fraction_per_rank() const;
+  std::string report_top_sites(int n) const;
+  std::string report_message_sizes(int n) const;
+
+ private:
+  int nranks_;
+  // One slot per rank; slot i is written only by rank i's thread.
+  std::vector<std::map<std::string, CommStat>> per_rank_;
+  std::vector<double> walltime_;
+};
+
+}  // namespace cmtbone::prof

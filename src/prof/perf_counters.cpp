@@ -1,0 +1,72 @@
+#include "prof/perf_counters.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace cmtbone::prof {
+
+#if defined(__linux__)
+
+namespace {
+int open_counter(std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return int(syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                     /*group_fd=*/-1, /*flags=*/0));
+}
+
+std::uint64_t read_counter(int fd) {
+  std::uint64_t value = 0;
+  if (fd >= 0 && read(fd, &value, sizeof value) != sizeof value) value = 0;
+  return value;
+}
+}  // namespace
+
+HwCounters::HwCounters() {
+  fd_instructions_ = open_counter(PERF_COUNT_HW_INSTRUCTIONS);
+  fd_cycles_ = open_counter(PERF_COUNT_HW_CPU_CYCLES);
+}
+
+HwCounters::~HwCounters() {
+  if (fd_instructions_ >= 0) close(fd_instructions_);
+  if (fd_cycles_ >= 0) close(fd_cycles_);
+}
+
+void HwCounters::start() {
+  if (!available()) return;
+  ioctl(fd_instructions_, PERF_EVENT_IOC_RESET, 0);
+  ioctl(fd_cycles_, PERF_EVENT_IOC_RESET, 0);
+  ioctl(fd_instructions_, PERF_EVENT_IOC_ENABLE, 0);
+  ioctl(fd_cycles_, PERF_EVENT_IOC_ENABLE, 0);
+}
+
+void HwCounters::stop() {
+  if (!available()) return;
+  ioctl(fd_instructions_, PERF_EVENT_IOC_DISABLE, 0);
+  ioctl(fd_cycles_, PERF_EVENT_IOC_DISABLE, 0);
+  instructions_ = read_counter(fd_instructions_);
+  cycles_ = read_counter(fd_cycles_);
+}
+
+#else  // non-Linux: never available
+
+HwCounters::HwCounters() = default;
+HwCounters::~HwCounters() = default;
+void HwCounters::start() {}
+void HwCounters::stop() {}
+
+#endif
+
+}  // namespace cmtbone::prof

@@ -1,0 +1,41 @@
+#pragma once
+// Hardware instruction/cycle counters via perf_event_open — the stand-in
+// for the PAPI counters the paper's Figs. 5/6 report.
+//
+// Availability depends on kernel configuration (perf_event_paranoid,
+// container seccomp policy). When the syscall is unavailable the counters
+// degrade gracefully: available() returns false and callers fall back to
+// the analytic instruction model (kernels::grad_instruction_estimate) plus
+// TSC cycles.
+
+#include <cstdint>
+
+namespace cmtbone::prof {
+
+class HwCounters {
+ public:
+  HwCounters();
+  ~HwCounters();
+
+  HwCounters(const HwCounters&) = delete;
+  HwCounters& operator=(const HwCounters&) = delete;
+
+  /// True if both hardware counters opened successfully.
+  bool available() const { return fd_instructions_ >= 0 && fd_cycles_ >= 0; }
+
+  void start();
+  void stop();
+
+  /// Counts accumulated between the last start()/stop() pair; 0 when
+  /// unavailable.
+  std::uint64_t instructions() const { return instructions_; }
+  std::uint64_t cycles() const { return cycles_; }
+
+ private:
+  int fd_instructions_ = -1;
+  int fd_cycles_ = -1;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace cmtbone::prof

@@ -1,0 +1,67 @@
+#pragma once
+// Wall-clock and cycle timers.
+//
+// The paper reports PAPI total-cycle counts (Figs 5/6); PAPI is not
+// available here, so cycle counts come from the TSC. On modern x86 the TSC
+// is constant-rate and monotonic, which is exactly what a relative
+// comparison between kernel variants needs.
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace cmtbone::prof {
+
+/// Monotonic wall-clock timer in seconds.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Read the timestamp counter. Falls back to nanoseconds on non-x86.
+inline std::uint64_t read_cycles() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  return std::uint64_t(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+/// Accumulating stopwatch: many start/stop intervals, one total.
+class Stopwatch {
+ public:
+  void start() { t0_ = std::chrono::steady_clock::now(); }
+
+  void stop() {
+    total_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+                  .count();
+    ++laps_;
+  }
+
+  double seconds() const { return total_; }
+  long laps() const { return laps_; }
+  void reset() { total_ = 0.0; laps_ = 0; }
+
+ private:
+  std::chrono::steady_clock::time_point t0_{};
+  double total_ = 0.0;
+  long laps_ = 0;
+};
+
+}  // namespace cmtbone::prof

@@ -1,0 +1,36 @@
+#include "sem/legendre.hpp"
+
+namespace cmtbone::sem {
+
+double legendre(int n, double x) {
+  if (n == 0) return 1.0;
+  if (n == 1) return x;
+  double pm1 = 1.0, p = x;
+  for (int k = 2; k <= n; ++k) {
+    double pk = ((2 * k - 1) * x * p - (k - 1) * pm1) / k;
+    pm1 = p;
+    p = pk;
+  }
+  return p;
+}
+
+LegendreEval legendre_with_derivative(int n, double x) {
+  if (n == 0) return {1.0, 0.0};
+  double pm1 = 1.0, p = x;
+  for (int k = 2; k <= n; ++k) {
+    double pk = ((2 * k - 1) * x * p - (k - 1) * pm1) / k;
+    pm1 = p;
+    p = pk;
+  }
+  // P'_n via the standard identity; at the endpoints use the closed form to
+  // avoid the 0/0 in the identity.
+  if (x == 1.0) return {p, 0.5 * n * (n + 1)};
+  if (x == -1.0) {
+    double sign = (n % 2 == 0) ? -1.0 : 1.0;
+    return {p, sign * 0.5 * n * (n + 1)};
+  }
+  double dp = n * (x * p - pm1) / (x * x - 1.0);
+  return {p, dp};
+}
+
+}  // namespace cmtbone::sem

@@ -1,0 +1,17 @@
+#pragma once
+// Legendre polynomial evaluation. Foundation for the Gauss-Lobatto-Legendre
+// (GLL) point sets the spectral element method collocates on.
+
+namespace cmtbone::sem {
+
+/// Value of the Legendre polynomial P_n at x (three-term recurrence).
+double legendre(int n, double x);
+
+/// Value and first derivative of P_n at x.
+struct LegendreEval {
+  double value;
+  double derivative;
+};
+LegendreEval legendre_with_derivative(int n, double x);
+
+}  // namespace cmtbone::sem

@@ -1,0 +1,127 @@
+#include "sem/lgl.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sem/legendre.hpp"
+
+namespace cmtbone::sem {
+
+GllRule gll_rule(int n) {
+  if (n < 2) throw std::invalid_argument("gll_rule: need n >= 2");
+  GllRule rule;
+  rule.n = n;
+  rule.nodes.resize(n);
+  rule.weights.resize(n);
+
+  const int p = n - 1;  // polynomial degree
+  rule.nodes[0] = -1.0;
+  rule.nodes[p] = 1.0;
+
+  // Interior nodes: roots of P'_p. Newton on q(x) = P'_p(x), using the
+  // derivative identity  q'(x) = (2x P'_p - p(p+1) P_p) / (1 - x^2)
+  // (from Legendre's equation). Chebyshev-Lobatto points start close enough
+  // that ~5 iterations reach machine precision.
+  for (int i = 1; i < p; ++i) {
+    double x = -std::cos(M_PI * double(i) / double(p));
+    for (int it = 0; it < 50; ++it) {
+      LegendreEval e = legendre_with_derivative(p, x);
+      double q = e.derivative;
+      double dq = (2.0 * x * e.derivative - double(p) * (p + 1) * e.value) /
+                  (1.0 - x * x);
+      double dx = q / dq;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    rule.nodes[i] = x;
+  }
+
+  for (int i = 0; i < n; ++i) {
+    double lp = legendre(p, rule.nodes[i]);
+    rule.weights[i] = 2.0 / (double(p) * double(p + 1) * lp * lp);
+  }
+  return rule;
+}
+
+GllRule gauss_rule(int n) {
+  if (n < 1) throw std::invalid_argument("gauss_rule: need n >= 1");
+  GllRule rule;
+  rule.n = n;
+  rule.nodes.resize(n);
+  rule.weights.resize(n);
+  // Newton on P_n from the Chebyshev asymptotic guess; weights are
+  // 2 / ((1 - x^2) P'_n(x)^2).
+  for (int i = 0; i < n; ++i) {
+    double x = -std::cos(M_PI * (i + 0.75) / (n + 0.5));
+    LegendreEval e{};
+    for (int it = 0; it < 60; ++it) {
+      e = legendre_with_derivative(n, x);
+      double dx = e.value / e.derivative;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    e = legendre_with_derivative(n, x);
+    rule.nodes[i] = x;
+    rule.weights[i] = 2.0 / ((1.0 - x * x) * e.derivative * e.derivative);
+  }
+  return rule;
+}
+
+std::vector<double> barycentric_weights(const std::vector<double>& nodes) {
+  const int n = int(nodes.size());
+  std::vector<double> w(n, 1.0);
+  for (int j = 0; j < n; ++j) {
+    for (int k = 0; k < n; ++k) {
+      if (k != j) w[j] *= (nodes[j] - nodes[k]);
+    }
+    w[j] = 1.0 / w[j];
+  }
+  return w;
+}
+
+std::vector<double> derivative_matrix(const std::vector<double>& nodes) {
+  const int n = int(nodes.size());
+  std::vector<double> bw = barycentric_weights(nodes);
+  std::vector<double> d(std::size_t(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double diag = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double dij = (bw[j] / bw[i]) / (nodes[i] - nodes[j]);
+      d[i + std::size_t(n) * j] = dij;
+      diag -= dij;  // rows sum to zero: d/dx of a constant vanishes
+    }
+    d[i + std::size_t(n) * i] = diag;
+  }
+  return d;
+}
+
+std::vector<double> interpolation_matrix(const std::vector<double>& from,
+                                         const std::vector<double>& to) {
+  const int nf = int(from.size());
+  const int nt = int(to.size());
+  std::vector<double> bw = barycentric_weights(from);
+  std::vector<double> m(std::size_t(nt) * nf, 0.0);
+  for (int i = 0; i < nt; ++i) {
+    // Barycentric second form; exact hit on a source node short-circuits.
+    int hit = -1;
+    for (int j = 0; j < nf; ++j) {
+      if (to[i] == from[j]) {
+        hit = j;
+        break;
+      }
+    }
+    if (hit >= 0) {
+      m[i + std::size_t(nt) * hit] = 1.0;
+      continue;
+    }
+    double denom = 0.0;
+    for (int j = 0; j < nf; ++j) denom += bw[j] / (to[i] - from[j]);
+    for (int j = 0; j < nf; ++j) {
+      m[i + std::size_t(nt) * j] = (bw[j] / (to[i] - from[j])) / denom;
+    }
+  }
+  return m;
+}
+
+}  // namespace cmtbone::sem

@@ -1,0 +1,48 @@
+#pragma once
+// Gauss-Lobatto-Legendre point sets, quadrature weights, spectral
+// differentiation and interpolation matrices.
+//
+// CMT-nek discretises each hexahedral element with N GLL points per
+// direction; the conserved variables are tensor products of degree-(N-1)
+// Lagrange polynomials on those points (paper §III-B). The derivative
+// matrix built here is the `D` whose small-matrix products dominate
+// CMT-bone's runtime (paper §V).
+
+#include <vector>
+
+namespace cmtbone::sem {
+
+/// GLL nodes and quadrature weights on [-1, 1].
+struct GllRule {
+  int n = 0;                    // number of points (polynomial degree n-1)
+  std::vector<double> nodes;    // ascending, nodes[0] = -1, nodes[n-1] = +1
+  std::vector<double> weights;  // positive, sum to 2
+};
+
+/// Compute the n-point GLL rule (n >= 2). Nodes are the roots of
+/// (1 - x^2) P'_{n-1}(x), found by Newton iteration from Chebyshev-Lobatto
+/// initial guesses; weights are 2 / (n (n-1) P_{n-1}(x_i)^2).
+GllRule gll_rule(int n);
+
+/// Compute the n-point Gauss-Legendre rule (n >= 1): interior roots of
+/// P_n(x), exact for polynomials of degree <= 2n-1. Nek5000 evaluates
+/// dealiased nonlinear terms on Gauss (not Lobatto) points, so the
+/// fine-mesh mapping of paper §V targets these nodes.
+GllRule gauss_rule(int n);
+
+/// Barycentric weights for a node set (used by both differentiation and
+/// interpolation matrix construction; numerically robust for GLL nodes).
+std::vector<double> barycentric_weights(const std::vector<double>& nodes);
+
+/// Spectral differentiation matrix on `nodes`, column-major:
+/// D(i,j) = dL_j/dx (x_i), stored as d[i + n*j].
+/// Rows sum to zero (derivative of the constant is zero) by construction.
+std::vector<double> derivative_matrix(const std::vector<double>& nodes);
+
+/// Interpolation matrix from `from` nodes to `to` points, column-major
+/// (size |to| x |from|): I(i,j) = L_j(to_i). Used for dealiasing, where an
+/// element is mapped to a finer quadrature mesh and back (paper §V).
+std::vector<double> interpolation_matrix(const std::vector<double>& from,
+                                         const std::vector<double>& to);
+
+}  // namespace cmtbone::sem

@@ -1,0 +1,31 @@
+#include "sem/operators.hpp"
+
+namespace cmtbone::sem {
+
+Operators Operators::build(int n, FineBasis basis) {
+  Operators op;
+  op.n = n;
+  op.rule = gll_rule(n);
+  op.d = derivative_matrix(op.rule.nodes);
+
+  op.dt.resize(op.d.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      op.dt[j + std::size_t(n) * i] = op.d[i + std::size_t(n) * j];
+    }
+  }
+
+  op.m = (3 * n) / 2;
+  op.fine_rule =
+      basis == FineBasis::kGauss ? gauss_rule(op.m) : gll_rule(op.m);
+  op.interp = interpolation_matrix(op.rule.nodes, op.fine_rule.nodes);
+  op.interp_t.resize(op.interp.size());
+  for (int i = 0; i < op.m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      op.interp_t[j + std::size_t(n) * i] = op.interp[i + std::size_t(op.m) * j];
+    }
+  }
+  return op;
+}
+
+}  // namespace cmtbone::sem

@@ -1,0 +1,33 @@
+#pragma once
+// Per-order operator bundle: everything a rank needs to apply the spectral
+// element kernels for a given N (GLL rule, derivative matrix and its
+// transpose, dealiasing interpolation pair).
+
+#include <vector>
+
+#include "sem/lgl.hpp"
+
+namespace cmtbone::sem {
+
+/// Operators for N GLL points per direction. Column-major matrices.
+struct Operators {
+  int n = 0;  // GLL points per direction
+
+  GllRule rule;              // nodes + quadrature weights
+  std::vector<double> d;     // derivative matrix D, n x n
+  std::vector<double> dt;    // D transposed (the Fortran kernels use both)
+
+  // Dealiasing pair (paper §V: "an element is first mapped to a finer mesh
+  // and later mapped back"). Fine rule has m = 3n/2 points, the standard
+  // 3/2-rule for quadratic nonlinearities; Nek evaluates the fine mesh on
+  // Gauss (interior) points, which is the default here.
+  int m = 0;                   // fine points per direction
+  GllRule fine_rule;
+  std::vector<double> interp;    // m x n: coarse -> fine
+  std::vector<double> interp_t;  // n x m: transpose (fine -> coarse projection)
+
+  enum class FineBasis { kGauss, kGaussLobatto };
+  static Operators build(int n, FineBasis basis = FineBasis::kGauss);
+};
+
+}  // namespace cmtbone::sem

@@ -1,0 +1,171 @@
+#include "trace/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+namespace cmtbone::trace {
+
+namespace {
+
+double collective_cost(const std::string& name, long long bytes, int nranks,
+                       const netmodel::LogGPParams& m) {
+  if (nranks <= 1) return 0.0;
+  const int stages = int(std::ceil(std::log2(double(nranks))));
+  const double msg = m.latency + 2.0 * m.overhead + bytes * m.gap_per_byte();
+  if (name == "MPI_Allreduce" || name == "MPI_Allgather" ||
+      name == "MPI_Allgatherv") {
+    return 2.0 * stages * msg;  // reduce/gather + broadcast
+  }
+  if (name == "MPI_Barrier") {
+    return stages * (m.latency + 2.0 * m.overhead);
+  }
+  if (name == "MPI_Alltoallv" || name == "MPI_Alltoall") {
+    // Posted-all exchange: per-partner overhead serializes, wire overlaps.
+    return 2.0 * (nranks - 1) * m.overhead + m.latency +
+           bytes * m.gap_per_byte();
+  }
+  if (name == "MPI_Scan") {
+    // Linear chain.
+    return nranks * msg;
+  }
+  // bcast, reduce, gather(v), comm_split, and anything unrecognized:
+  // one binomial sweep.
+  return stages * msg;
+}
+
+struct MessageKey {
+  int src, dst, tag;
+  bool operator<(const MessageKey& other) const {
+    if (src != other.src) return src < other.src;
+    if (dst != other.dst) return dst < other.dst;
+    return tag < other.tag;
+  }
+};
+
+}  // namespace
+
+ReplayResult replay(const Trace& trace, const ReplayConfig& config) {
+  const int p = trace.nranks();
+  const netmodel::LogGPParams& m = config.machine;
+
+  ReplayResult result;
+  result.rank_finish.assign(p, 0.0);
+
+  std::vector<std::size_t> next(p, 0);    // next event index per rank
+  std::vector<double> clock(p, 0.0);      // virtual time per rank
+  std::vector<double> prev_end(p, 0.0);   // original end time of prior event
+  // In-flight messages: arrival times per (src, dst, tag), FIFO
+  // (non-overtaking matches the runtime's semantics).
+  std::map<MessageKey, std::deque<double>> in_flight;
+  // Collective rendezvous: ranks whose next event is their k-th collective.
+  std::vector<long long> coll_index(p, 0);
+
+  auto gap_of = [&](int r, const Event& e) {
+    return std::max(0.0, e.t_start - prev_end[r]) * config.compute_scale;
+  };
+
+  int done = 0;
+  for (int r = 0; r < p; ++r) {
+    if (trace.ranks[r].empty()) ++done;
+  }
+
+  while (done < p) {
+    bool progressed = false;
+
+    // Try to advance every rank whose next event is executable.
+    for (int r = 0; r < p; ++r) {
+      while (next[r] < trace.ranks[r].size()) {
+        const Event& e = trace.ranks[r][next[r]];
+        if (e.kind == EventKind::kSend) {
+          const double gap = gap_of(r, e);
+          result.total_compute += gap;
+          clock[r] += gap + m.overhead;
+          result.total_comm += m.overhead;
+          in_flight[{r, e.peer, e.tag}].push_back(
+              clock[r] + m.latency + e.bytes * m.gap_per_byte());
+          ++result.messages;
+          result.bytes += e.bytes;
+        } else if (e.kind == EventKind::kRecv) {
+          auto it = in_flight.find({e.peer, r, e.tag});
+          if (it == in_flight.end() || it->second.empty()) break;  // stalled
+          const double gap = gap_of(r, e);
+          result.total_compute += gap;
+          const double ready = clock[r] + gap;
+          const double arrival = it->second.front();
+          it->second.pop_front();
+          result.total_blocked += std::max(0.0, arrival - ready);
+          clock[r] = std::max(ready, arrival) + m.overhead;
+          result.total_comm += m.overhead;
+        } else {
+          break;  // collectives rendezvous below
+        }
+        prev_end[r] = e.t_end;
+        ++next[r];
+        progressed = true;
+        if (next[r] == trace.ranks[r].size()) ++done;
+      }
+    }
+
+    // Collective rendezvous: if every unfinished rank is parked at a
+    // collective with the same per-rank ordinal, execute it synchronously.
+    bool all_at_coll = done < p;
+    long long k = -1;
+    for (int r = 0; r < p && all_at_coll; ++r) {
+      if (next[r] >= trace.ranks[r].size()) {
+        // A finished rank cannot join a collective: sequences mismatch.
+        all_at_coll = false;
+        break;
+      }
+      const Event& e = trace.ranks[r][next[r]];
+      if (e.kind != EventKind::kCollective) {
+        all_at_coll = false;
+        break;
+      }
+      if (k < 0) k = coll_index[r];
+      if (coll_index[r] != k) all_at_coll = false;
+    }
+    if (all_at_coll) {
+      // Enter: everyone applies its compute gap, then synchronizes.
+      double enter = 0.0;
+      long long max_bytes = 0;
+      std::string name;
+      for (int r = 0; r < p; ++r) {
+        const Event& e = trace.ranks[r][next[r]];
+        const double gap = gap_of(r, e);
+        result.total_compute += gap;
+        clock[r] += gap;
+        enter = std::max(enter, clock[r]);
+        max_bytes = std::max(max_bytes, e.bytes);
+        name = e.collective;
+      }
+      const double cost = collective_cost(name, max_bytes, p, m);
+      result.total_comm += cost;
+      for (int r = 0; r < p; ++r) {
+        result.total_blocked += enter - clock[r];
+        clock[r] = enter + cost;
+        prev_end[r] = trace.ranks[r][next[r]].t_end;
+        ++coll_index[r];
+        ++next[r];
+        if (next[r] == trace.ranks[r].size()) ++done;
+      }
+      progressed = true;
+    }
+
+    if (!progressed && done < p) {
+      throw std::runtime_error(
+          "trace::replay: no rank can make progress (causally inconsistent "
+          "trace: unmatched receive or mismatched collective sequence)");
+    }
+  }
+
+  for (int r = 0; r < p; ++r) {
+    result.rank_finish[r] = clock[r];
+    result.makespan = std::max(result.makespan, clock[r]);
+  }
+  return result;
+}
+
+}  // namespace cmtbone::trace

@@ -1,0 +1,74 @@
+#include "trace/trace.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace cmtbone::trace {
+
+double Trace::recorded_makespan() const {
+  double t = 0.0;
+  for (const auto& rank : ranks) {
+    for (const Event& e : rank) {
+      if (e.t_end > t) t = e.t_end;
+    }
+  }
+  return t;
+}
+
+Recorder::Recorder(int nranks) {
+  trace_.ranks.resize(nranks);
+  epoch_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count();
+}
+
+double Recorder::now() const {
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+  return double(ns - epoch_ns_) * 1e-9;
+}
+
+void Recorder::on_send(int rank, int dest, int tag, long long bytes,
+                       double t_start, double t_end) {
+  Event e;
+  e.kind = EventKind::kSend;
+  e.peer = dest;
+  e.tag = tag;
+  e.bytes = bytes;
+  e.t_start = t_start;
+  e.t_end = t_end;
+  trace_.ranks[rank].push_back(std::move(e));
+}
+
+void Recorder::on_recv(int rank, int source, int tag, long long bytes,
+                       double t_start, double t_end) {
+  Event e;
+  e.kind = EventKind::kRecv;
+  e.peer = source;
+  e.tag = tag;
+  e.bytes = bytes;
+  e.t_start = t_start;
+  e.t_end = t_end;
+  trace_.ranks[rank].push_back(std::move(e));
+}
+
+void Recorder::on_collective(int rank, const char* name, long long bytes,
+                             double t_start, double t_end) {
+  Event e;
+  e.kind = EventKind::kCollective;
+  e.collective = name;
+  e.bytes = bytes;
+  e.t_start = t_start;
+  e.t_end = t_end;
+  trace_.ranks[rank].push_back(std::move(e));
+}
+
+Trace Recorder::take() {
+  Trace out = std::move(trace_);
+  trace_ = Trace{};
+  trace_.ranks.resize(out.ranks.size());
+  return out;
+}
+
+}  // namespace cmtbone::trace

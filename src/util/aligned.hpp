@@ -1,0 +1,102 @@
+#pragma once
+// Cache-line aligned, zero-initialised numeric buffers.
+//
+// Spectral-element kernels stream through (N,N,N,nel) tensors; keeping the
+// base pointer 64-byte aligned lets the compiler emit aligned vector
+// loads/stores and keeps per-element slices from straddling cache lines
+// gratuitously.
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <utility>
+
+namespace cmtbone::util {
+
+/// Fixed-capacity heap buffer of trivially-copyable T, aligned to `Align`
+/// bytes. Unlike std::vector it never reallocates behind the caller's back,
+/// which matters when raw pointers into the buffer are cached by kernels.
+template <class T, std::size_t Align = 64>
+class AlignedBuffer {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "Align must be a power of two >= alignof(T)");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n) { allocate(n); }
+
+  AlignedBuffer(const AlignedBuffer& other) {
+    allocate(other.n_);
+    if (n_ != 0) std::memcpy(p_, other.p_, n_ * sizeof(T));
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : p_(std::exchange(other.p_, nullptr)), n_(std::exchange(other.n_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer other) noexcept {
+    swap(other);
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(p_, other.p_);
+    std::swap(n_, other.n_);
+  }
+
+  /// Discard contents and reallocate to exactly `n` zeroed elements.
+  void reset(std::size_t n) {
+    release();
+    allocate(n);
+  }
+
+  void fill(T v) {
+    for (std::size_t i = 0; i < n_; ++i) p_[i] = v;
+  }
+
+  T* data() { return p_; }
+  const T* data() const { return p_; }
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  T& operator[](std::size_t i) { return p_[i]; }
+  const T& operator[](std::size_t i) const { return p_[i]; }
+
+  T* begin() { return p_; }
+  T* end() { return p_ + n_; }
+  const T* begin() const { return p_; }
+  const T* end() const { return p_ + n_; }
+
+  std::span<T> span() { return {p_, n_}; }
+  std::span<const T> span() const { return {p_, n_}; }
+
+ private:
+  void allocate(std::size_t n) {
+    n_ = n;
+    if (n == 0) {
+      p_ = nullptr;
+      return;
+    }
+    // Round the byte count up to a multiple of the alignment as required by
+    // std::aligned_alloc.
+    std::size_t bytes = (n * sizeof(T) + Align - 1) / Align * Align;
+    p_ = static_cast<T*>(std::aligned_alloc(Align, bytes));
+    if (p_ == nullptr) throw std::bad_alloc{};
+    std::memset(p_, 0, bytes);
+  }
+
+  void release() {
+    std::free(p_);
+    p_ = nullptr;
+    n_ = 0;
+  }
+
+  T* p_ = nullptr;
+  std::size_t n_ = 0;
+};
+
+}  // namespace cmtbone::util

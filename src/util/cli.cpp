@@ -1,0 +1,80 @@
+#include "util/cli.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cmtbone::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  describe("help", "print this message");
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      positional_.push_back(tok);
+      continue;
+    }
+    std::string key = tok.substr(2);
+    auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      values_[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
+    // "--key value" if the next token exists and is not itself an option;
+    // otherwise a bare flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[key] = argv[++i];
+    } else {
+      values_[key] = "";
+    }
+  }
+}
+
+Cli& Cli::describe(const std::string& key, const std::string& help) {
+  help_[key] = help;
+  return *this;
+}
+
+bool Cli::has(const std::string& key) const { return values_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int Cli::get_int(const std::string& key, int fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stoi(it->second);
+}
+
+long long Cli::get_ll(const std::string& key, long long fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [options]\n";
+  for (const auto& [key, help] : help_) {
+    os << "  --" << key;
+    for (std::size_t i = key.size(); i < 18; ++i) os << ' ';
+    os << help << "\n";
+  }
+  return os.str();
+}
+
+void Cli::reject_unknown() const {
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (help_.count(key) == 0) {
+      throw std::runtime_error("unknown option --" + key + "\n" + usage());
+    }
+  }
+}
+
+}  // namespace cmtbone::util

@@ -1,0 +1,54 @@
+#pragma once
+// Minimal command-line parser for the example/bench drivers.
+//
+// All figure-reproduction binaries share the same conventions:
+//   --flag            boolean switch
+//   --key value       valued option
+//   --key=value       also accepted
+// Unknown options are an error (catches typos in sweep scripts).
+//
+// Ambiguity note: "--flag positional" reads the positional as the flag's
+// value (the parser cannot know a flag takes no value). Pass positionals
+// before options, or use --key=value forms.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cmtbone::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Declare options up front so --help can print them and unknown options
+  /// can be rejected. Returns *this for chaining.
+  Cli& describe(const std::string& key, const std::string& help);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  long long get_ll(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  /// Positional arguments (non-option tokens), in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True if --help was passed; callers should print usage() and exit.
+  bool help_requested() const { return has("help"); }
+  std::string usage() const;
+
+  /// Throws std::runtime_error if any parsed option was never described.
+  void reject_unknown() const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;   // key -> raw value ("" for flags)
+  std::map<std::string, std::string> help_;     // key -> description
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cmtbone::util

@@ -1,0 +1,41 @@
+#pragma once
+// Tiny leveled logger. Thread-safe; each line is written atomically so logs
+// from 256 in-process ranks interleave by line, never by character.
+
+#include <sstream>
+#include <string>
+
+namespace cmtbone::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Write one line (a newline is appended) if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LineStream {
+ public:
+  explicit LineStream(LogLevel level) : level_(level) {}
+  ~LineStream() { log_line(level_, os_.str()); }
+  template <class T>
+  LineStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LineStream log_debug() { return detail::LineStream(LogLevel::kDebug); }
+inline detail::LineStream log_info() { return detail::LineStream(LogLevel::kInfo); }
+inline detail::LineStream log_warn() { return detail::LineStream(LogLevel::kWarn); }
+inline detail::LineStream log_error() { return detail::LineStream(LogLevel::kError); }
+
+}  // namespace cmtbone::util

