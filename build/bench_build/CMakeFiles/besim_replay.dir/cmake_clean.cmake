@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/besim_replay"
+  "../bench/besim_replay.pdb"
+  "CMakeFiles/besim_replay.dir/besim_replay.cpp.o"
+  "CMakeFiles/besim_replay.dir/besim_replay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/besim_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_msg_sizes"
+  "../bench/fig10_msg_sizes.pdb"
+  "CMakeFiles/fig10_msg_sizes.dir/fig10_msg_sizes.cpp.o"
+  "CMakeFiles/fig10_msg_sizes.dir/fig10_msg_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_msg_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_callgraph"
+  "../bench/fig4_callgraph.pdb"
+  "CMakeFiles/fig4_callgraph.dir/fig4_callgraph.cpp.o"
+  "CMakeFiles/fig4_callgraph.dir/fig4_callgraph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_callgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

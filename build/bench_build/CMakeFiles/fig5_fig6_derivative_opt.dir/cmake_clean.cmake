@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_fig6_derivative_opt"
+  "../bench/fig5_fig6_derivative_opt.pdb"
+  "CMakeFiles/fig5_fig6_derivative_opt.dir/fig5_fig6_derivative_opt.cpp.o"
+  "CMakeFiles/fig5_fig6_derivative_opt.dir/fig5_fig6_derivative_opt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fig6_derivative_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_gs_methods"
+  "../bench/fig7_gs_methods.pdb"
+  "CMakeFiles/fig7_gs_methods.dir/fig7_gs_methods.cpp.o"
+  "CMakeFiles/fig7_gs_methods.dir/fig7_gs_methods.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_gs_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

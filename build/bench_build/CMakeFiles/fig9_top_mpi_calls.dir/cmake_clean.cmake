@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_top_mpi_calls"
+  "../bench/fig9_top_mpi_calls.pdb"
+  "CMakeFiles/fig9_top_mpi_calls.dir/fig9_top_mpi_calls.cpp.o"
+  "CMakeFiles/fig9_top_mpi_calls.dir/fig9_top_mpi_calls.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_top_mpi_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

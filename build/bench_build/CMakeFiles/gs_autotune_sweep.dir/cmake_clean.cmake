@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gs_autotune_sweep"
+  "../bench/gs_autotune_sweep.pdb"
+  "CMakeFiles/gs_autotune_sweep.dir/gs_autotune_sweep.cpp.o"
+  "CMakeFiles/gs_autotune_sweep.dir/gs_autotune_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_autotune_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/kernel_nsweep.cpp" "bench_build/CMakeFiles/kernel_nsweep.dir/kernel_nsweep.cpp.o" "gcc" "bench_build/CMakeFiles/kernel_nsweep.dir/kernel_nsweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/cmtbone_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/cmtbone_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmtbone_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

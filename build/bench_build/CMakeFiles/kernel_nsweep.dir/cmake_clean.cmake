@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/kernel_nsweep"
+  "../bench/kernel_nsweep.pdb"
+  "CMakeFiles/kernel_nsweep.dir/kernel_nsweep.cpp.o"
+  "CMakeFiles/kernel_nsweep.dir/kernel_nsweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_nsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

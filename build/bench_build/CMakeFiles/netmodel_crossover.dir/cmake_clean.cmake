@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/netmodel_crossover"
+  "../bench/netmodel_crossover.pdb"
+  "CMakeFiles/netmodel_crossover.dir/netmodel_crossover.cpp.o"
+  "CMakeFiles/netmodel_crossover.dir/netmodel_crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmodel_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

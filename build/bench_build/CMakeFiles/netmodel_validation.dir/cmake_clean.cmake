@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/netmodel_validation"
+  "../bench/netmodel_validation.pdb"
+  "CMakeFiles/netmodel_validation.dir/netmodel_validation.cpp.o"
+  "CMakeFiles/netmodel_validation.dir/netmodel_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmodel_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/validation_proxy"
+  "../bench/validation_proxy.pdb"
+  "CMakeFiles/validation_proxy.dir/validation_proxy.cpp.o"
+  "CMakeFiles/validation_proxy.dir/validation_proxy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advection_pulse.dir/advection_pulse.cpp.o"
+  "CMakeFiles/advection_pulse.dir/advection_pulse.cpp.o.d"
+  "advection_pulse"
+  "advection_pulse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advection_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_study.dir/comm_study.cpp.o"
+  "CMakeFiles/comm_study.dir/comm_study.cpp.o.d"
+  "comm_study"
+  "comm_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/euler_pulse.dir/euler_pulse.cpp.o"
+  "CMakeFiles/euler_pulse.dir/euler_pulse.cpp.o.d"
+  "euler_pulse"
+  "euler_pulse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/euler_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

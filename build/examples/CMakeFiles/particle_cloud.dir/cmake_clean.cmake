@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particle_cloud.dir/particle_cloud.cpp.o"
+  "CMakeFiles/particle_cloud.dir/particle_cloud.cpp.o.d"
+  "particle_cloud"
+  "particle_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particle_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

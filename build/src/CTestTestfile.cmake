@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("prof")
+subdirs("netmodel")
+subdirs("trace")
+subdirs("comm")
+subdirs("sem")
+subdirs("mesh")
+subdirs("kernels")
+subdirs("gs")
+subdirs("io")
+subdirs("particles")
+subdirs("core")
+subdirs("nekbone")

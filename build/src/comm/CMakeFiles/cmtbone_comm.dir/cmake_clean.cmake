@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtbone_comm.dir/comm.cpp.o"
+  "CMakeFiles/cmtbone_comm.dir/comm.cpp.o.d"
+  "CMakeFiles/cmtbone_comm.dir/mailbox.cpp.o"
+  "CMakeFiles/cmtbone_comm.dir/mailbox.cpp.o.d"
+  "CMakeFiles/cmtbone_comm.dir/runtime.cpp.o"
+  "CMakeFiles/cmtbone_comm.dir/runtime.cpp.o.d"
+  "libcmtbone_comm.a"
+  "libcmtbone_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtbone_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtbone_core.dir/driver.cpp.o"
+  "CMakeFiles/cmtbone_core.dir/driver.cpp.o.d"
+  "libcmtbone_core.a"
+  "libcmtbone_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtbone_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

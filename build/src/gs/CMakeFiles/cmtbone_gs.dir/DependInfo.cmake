@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gs/crystal.cpp" "src/gs/CMakeFiles/cmtbone_gs.dir/crystal.cpp.o" "gcc" "src/gs/CMakeFiles/cmtbone_gs.dir/crystal.cpp.o.d"
+  "/root/repo/src/gs/gather_scatter.cpp" "src/gs/CMakeFiles/cmtbone_gs.dir/gather_scatter.cpp.o" "gcc" "src/gs/CMakeFiles/cmtbone_gs.dir/gather_scatter.cpp.o.d"
+  "/root/repo/src/gs/topology.cpp" "src/gs/CMakeFiles/cmtbone_gs.dir/topology.cpp.o" "gcc" "src/gs/CMakeFiles/cmtbone_gs.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/cmtbone_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmtbone_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/cmtbone_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cmtbone_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/cmtbone_netmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

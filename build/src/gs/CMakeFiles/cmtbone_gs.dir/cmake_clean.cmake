@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtbone_gs.dir/crystal.cpp.o"
+  "CMakeFiles/cmtbone_gs.dir/crystal.cpp.o.d"
+  "CMakeFiles/cmtbone_gs.dir/gather_scatter.cpp.o"
+  "CMakeFiles/cmtbone_gs.dir/gather_scatter.cpp.o.d"
+  "CMakeFiles/cmtbone_gs.dir/topology.cpp.o"
+  "CMakeFiles/cmtbone_gs.dir/topology.cpp.o.d"
+  "libcmtbone_gs.a"
+  "libcmtbone_gs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtbone_gs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmtbone_gs.a"
+)

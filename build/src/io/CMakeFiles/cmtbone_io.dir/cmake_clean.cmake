@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtbone_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/cmtbone_io.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/cmtbone_io.dir/vtk.cpp.o"
+  "CMakeFiles/cmtbone_io.dir/vtk.cpp.o.d"
+  "libcmtbone_io.a"
+  "libcmtbone_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtbone_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/div.cpp" "src/kernels/CMakeFiles/cmtbone_kernels.dir/div.cpp.o" "gcc" "src/kernels/CMakeFiles/cmtbone_kernels.dir/div.cpp.o.d"
+  "/root/repo/src/kernels/gradient.cpp" "src/kernels/CMakeFiles/cmtbone_kernels.dir/gradient.cpp.o" "gcc" "src/kernels/CMakeFiles/cmtbone_kernels.dir/gradient.cpp.o.d"
+  "/root/repo/src/kernels/mxm.cpp" "src/kernels/CMakeFiles/cmtbone_kernels.dir/mxm.cpp.o" "gcc" "src/kernels/CMakeFiles/cmtbone_kernels.dir/mxm.cpp.o.d"
+  "/root/repo/src/kernels/tensor.cpp" "src/kernels/CMakeFiles/cmtbone_kernels.dir/tensor.cpp.o" "gcc" "src/kernels/CMakeFiles/cmtbone_kernels.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cmtbone_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtbone_kernels.dir/div.cpp.o"
+  "CMakeFiles/cmtbone_kernels.dir/div.cpp.o.d"
+  "CMakeFiles/cmtbone_kernels.dir/gradient.cpp.o"
+  "CMakeFiles/cmtbone_kernels.dir/gradient.cpp.o.d"
+  "CMakeFiles/cmtbone_kernels.dir/mxm.cpp.o"
+  "CMakeFiles/cmtbone_kernels.dir/mxm.cpp.o.d"
+  "CMakeFiles/cmtbone_kernels.dir/tensor.cpp.o"
+  "CMakeFiles/cmtbone_kernels.dir/tensor.cpp.o.d"
+  "libcmtbone_kernels.a"
+  "libcmtbone_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtbone_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

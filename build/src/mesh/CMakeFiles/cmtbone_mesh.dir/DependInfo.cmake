@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/face_exchange.cpp" "src/mesh/CMakeFiles/cmtbone_mesh.dir/face_exchange.cpp.o" "gcc" "src/mesh/CMakeFiles/cmtbone_mesh.dir/face_exchange.cpp.o.d"
+  "/root/repo/src/mesh/face_numbering.cpp" "src/mesh/CMakeFiles/cmtbone_mesh.dir/face_numbering.cpp.o" "gcc" "src/mesh/CMakeFiles/cmtbone_mesh.dir/face_numbering.cpp.o.d"
+  "/root/repo/src/mesh/faces.cpp" "src/mesh/CMakeFiles/cmtbone_mesh.dir/faces.cpp.o" "gcc" "src/mesh/CMakeFiles/cmtbone_mesh.dir/faces.cpp.o.d"
+  "/root/repo/src/mesh/numbering.cpp" "src/mesh/CMakeFiles/cmtbone_mesh.dir/numbering.cpp.o" "gcc" "src/mesh/CMakeFiles/cmtbone_mesh.dir/numbering.cpp.o.d"
+  "/root/repo/src/mesh/partition.cpp" "src/mesh/CMakeFiles/cmtbone_mesh.dir/partition.cpp.o" "gcc" "src/mesh/CMakeFiles/cmtbone_mesh.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/cmtbone_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmtbone_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/cmtbone_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cmtbone_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/cmtbone_netmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

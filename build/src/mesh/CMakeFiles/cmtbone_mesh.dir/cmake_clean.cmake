@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtbone_mesh.dir/face_exchange.cpp.o"
+  "CMakeFiles/cmtbone_mesh.dir/face_exchange.cpp.o.d"
+  "CMakeFiles/cmtbone_mesh.dir/face_numbering.cpp.o"
+  "CMakeFiles/cmtbone_mesh.dir/face_numbering.cpp.o.d"
+  "CMakeFiles/cmtbone_mesh.dir/faces.cpp.o"
+  "CMakeFiles/cmtbone_mesh.dir/faces.cpp.o.d"
+  "CMakeFiles/cmtbone_mesh.dir/numbering.cpp.o"
+  "CMakeFiles/cmtbone_mesh.dir/numbering.cpp.o.d"
+  "CMakeFiles/cmtbone_mesh.dir/partition.cpp.o"
+  "CMakeFiles/cmtbone_mesh.dir/partition.cpp.o.d"
+  "libcmtbone_mesh.a"
+  "libcmtbone_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtbone_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

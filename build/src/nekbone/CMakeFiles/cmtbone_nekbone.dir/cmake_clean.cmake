@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtbone_nekbone.dir/nekbone.cpp.o"
+  "CMakeFiles/cmtbone_nekbone.dir/nekbone.cpp.o.d"
+  "libcmtbone_nekbone.a"
+  "libcmtbone_nekbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtbone_nekbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cmtbone_nekbone.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtbone_netmodel.dir/loggp.cpp.o"
+  "CMakeFiles/cmtbone_netmodel.dir/loggp.cpp.o.d"
+  "libcmtbone_netmodel.a"
+  "libcmtbone_netmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtbone_netmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtbone_netmodel_calibrate.dir/calibrate.cpp.o"
+  "CMakeFiles/cmtbone_netmodel_calibrate.dir/calibrate.cpp.o.d"
+  "libcmtbone_netmodel_calibrate.a"
+  "libcmtbone_netmodel_calibrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtbone_netmodel_calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

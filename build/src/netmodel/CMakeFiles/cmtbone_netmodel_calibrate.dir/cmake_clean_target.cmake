@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmtbone_netmodel_calibrate.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtbone_particles.dir/tracker.cpp.o"
+  "CMakeFiles/cmtbone_particles.dir/tracker.cpp.o.d"
+  "libcmtbone_particles.a"
+  "libcmtbone_particles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtbone_particles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prof/callprof.cpp" "src/prof/CMakeFiles/cmtbone_prof.dir/callprof.cpp.o" "gcc" "src/prof/CMakeFiles/cmtbone_prof.dir/callprof.cpp.o.d"
+  "/root/repo/src/prof/commprof.cpp" "src/prof/CMakeFiles/cmtbone_prof.dir/commprof.cpp.o" "gcc" "src/prof/CMakeFiles/cmtbone_prof.dir/commprof.cpp.o.d"
+  "/root/repo/src/prof/perf_counters.cpp" "src/prof/CMakeFiles/cmtbone_prof.dir/perf_counters.cpp.o" "gcc" "src/prof/CMakeFiles/cmtbone_prof.dir/perf_counters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cmtbone_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

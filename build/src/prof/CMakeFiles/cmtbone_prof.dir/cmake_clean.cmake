@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtbone_prof.dir/callprof.cpp.o"
+  "CMakeFiles/cmtbone_prof.dir/callprof.cpp.o.d"
+  "CMakeFiles/cmtbone_prof.dir/commprof.cpp.o"
+  "CMakeFiles/cmtbone_prof.dir/commprof.cpp.o.d"
+  "CMakeFiles/cmtbone_prof.dir/perf_counters.cpp.o"
+  "CMakeFiles/cmtbone_prof.dir/perf_counters.cpp.o.d"
+  "libcmtbone_prof.a"
+  "libcmtbone_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtbone_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sem/legendre.cpp" "src/sem/CMakeFiles/cmtbone_sem.dir/legendre.cpp.o" "gcc" "src/sem/CMakeFiles/cmtbone_sem.dir/legendre.cpp.o.d"
+  "/root/repo/src/sem/lgl.cpp" "src/sem/CMakeFiles/cmtbone_sem.dir/lgl.cpp.o" "gcc" "src/sem/CMakeFiles/cmtbone_sem.dir/lgl.cpp.o.d"
+  "/root/repo/src/sem/operators.cpp" "src/sem/CMakeFiles/cmtbone_sem.dir/operators.cpp.o" "gcc" "src/sem/CMakeFiles/cmtbone_sem.dir/operators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cmtbone_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

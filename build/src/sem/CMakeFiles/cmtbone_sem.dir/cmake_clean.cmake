@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtbone_sem.dir/legendre.cpp.o"
+  "CMakeFiles/cmtbone_sem.dir/legendre.cpp.o.d"
+  "CMakeFiles/cmtbone_sem.dir/lgl.cpp.o"
+  "CMakeFiles/cmtbone_sem.dir/lgl.cpp.o.d"
+  "CMakeFiles/cmtbone_sem.dir/operators.cpp.o"
+  "CMakeFiles/cmtbone_sem.dir/operators.cpp.o.d"
+  "libcmtbone_sem.a"
+  "libcmtbone_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtbone_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/sem/CMakeFiles/cmtbone_sem.dir/legendre.cpp.o: \
+ /root/repo/src/sem/legendre.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/sem/legendre.hpp

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/replay.cpp" "src/trace/CMakeFiles/cmtbone_trace.dir/replay.cpp.o" "gcc" "src/trace/CMakeFiles/cmtbone_trace.dir/replay.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/cmtbone_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/cmtbone_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netmodel/CMakeFiles/cmtbone_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmtbone_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtbone_trace.dir/replay.cpp.o"
+  "CMakeFiles/cmtbone_trace.dir/replay.cpp.o.d"
+  "CMakeFiles/cmtbone_trace.dir/trace.cpp.o"
+  "CMakeFiles/cmtbone_trace.dir/trace.cpp.o.d"
+  "libcmtbone_trace.a"
+  "libcmtbone_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtbone_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

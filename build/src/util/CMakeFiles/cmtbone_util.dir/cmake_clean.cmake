@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtbone_util.dir/cli.cpp.o"
+  "CMakeFiles/cmtbone_util.dir/cli.cpp.o.d"
+  "CMakeFiles/cmtbone_util.dir/log.cpp.o"
+  "CMakeFiles/cmtbone_util.dir/log.cpp.o.d"
+  "CMakeFiles/cmtbone_util.dir/table.cpp.o"
+  "CMakeFiles/cmtbone_util.dir/table.cpp.o.d"
+  "libcmtbone_util.a"
+  "libcmtbone_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtbone_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gs.cpp" "tests/CMakeFiles/test_gs.dir/test_gs.cpp.o" "gcc" "tests/CMakeFiles/test_gs.dir/test_gs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cmtbone_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nekbone/CMakeFiles/cmtbone_nekbone.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/cmtbone_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cmtbone_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/particles/CMakeFiles/cmtbone_particles.dir/DependInfo.cmake"
+  "/root/repo/build/src/gs/CMakeFiles/cmtbone_gs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cmtbone_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/cmtbone_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/cmtbone_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cmtbone_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/cmtbone_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/cmtbone_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmtbone_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

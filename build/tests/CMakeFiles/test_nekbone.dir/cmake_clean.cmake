@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nekbone.dir/test_nekbone.cpp.o"
+  "CMakeFiles/test_nekbone.dir/test_nekbone.cpp.o.d"
+  "test_nekbone"
+  "test_nekbone.pdb"
+  "test_nekbone[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nekbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
