@@ -1,0 +1,97 @@
+#include "chaos/chaos.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace cmtbone::chaos {
+
+namespace {
+
+// SplitMix64 finalizer: the bit mixer behind every chaos decision.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t combine(std::uint64_t h, std::uint64_t v) {
+  return mix(h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2)));
+}
+
+double to_unit(std::uint64_t h) { return double(h >> 11) * 0x1.0p-53; }
+
+// Domain-separation salts so op decisions, hold decisions, and digest
+// contributions never alias.
+constexpr std::uint64_t kOpSalt = 0x6f70736c61740001ull;
+constexpr std::uint64_t kHoldSalt = 0x686f6c6473616c74ull;
+
+}  // namespace
+
+ChaosPolicy ChaosPolicy::for_seed(std::uint64_t seed, int nranks) {
+  ChaosPolicy p;
+  p.seed = seed;
+  if (seed == 0 || nranks <= 0) return p;  // digest-only policy
+  std::uint64_t h = combine(seed, 0x5eed0001ull);
+  p.delay_probability = 0.05 + 0.25 * to_unit(h = combine(h, 1));
+  p.max_delay_us = 20 + int(combine(h, 2) % 101);  // 20..120 us
+  p.hold_probability = 0.05 + 0.35 * to_unit(h = combine(h, 3));
+  p.max_hold_ticks = 2 + int(combine(h, 4) % 9);  // 2..10 ticks
+  p.rank_slowdown.assign(std::size_t(nranks), 1.0);
+  int straggler = int(combine(h, 5) % std::uint64_t(nranks));
+  p.rank_slowdown[std::size_t(straggler)] =
+      2.0 + 3.0 * to_unit(combine(h, 6));
+  return p;
+}
+
+ChaosEngine::ChaosEngine(ChaosPolicy policy, int nranks)
+    : policy_(std::move(policy)), ranks_(std::size_t(std::max(nranks, 1))) {}
+
+double ChaosEngine::slowdown(int rank) const {
+  if (rank < 0 || std::size_t(rank) >= policy_.rank_slowdown.size()) {
+    return 1.0;
+  }
+  return std::max(policy_.rank_slowdown[std::size_t(rank)], 0.0);
+}
+
+void ChaosEngine::on_rank_op(int rank, Hook hook) {
+  if (rank < 0 || std::size_t(rank) >= ranks_.size()) return;
+  const long long op = ranks_[std::size_t(rank)].ops++;
+  if (rank == policy_.abort_rank && policy_.abort_at_op >= 0 &&
+      op >= policy_.abort_at_op) {
+    throw ChaosAbortInjected(rank, op);
+  }
+  std::uint64_t h = combine(policy_.seed, kOpSalt);
+  h = combine(h, std::uint64_t(rank));
+  h = combine(h, std::uint64_t(hook));
+  h = combine(h, std::uint64_t(op));
+  note(h);
+  if (policy_.delay_probability <= 0.0) return;
+  if (to_unit(h) >= policy_.delay_probability) return;
+  const int bound = std::max(policy_.max_delay_us, 1);
+  const int us = 1 + int(combine(h, 0xde1a4ull) % std::uint64_t(bound));
+  const auto dur = std::chrono::microseconds(
+      (long long)(double(us) * slowdown(rank)));
+  if (dur.count() > 0) std::this_thread::sleep_for(dur);
+}
+
+int ChaosEngine::hold_ticks(int ctx, int src, int dest, int tag,
+                            std::uint64_t seq, std::size_t bytes) {
+  std::uint64_t h = combine(policy_.seed, kHoldSalt);
+  h = combine(h, (std::uint64_t(std::uint32_t(ctx)) << 32) |
+                     std::uint32_t(src));
+  h = combine(h, (std::uint64_t(std::uint32_t(dest)) << 32) |
+                     std::uint32_t(tag));
+  h = combine(h, seq);
+  h = combine(h, std::uint64_t(bytes));
+  note(h);
+  if (policy_.hold_probability <= 0.0) return 0;
+  if (to_unit(h) >= policy_.hold_probability) return 0;
+  const int bound = std::max(policy_.max_hold_ticks, 1);
+  return 1 + int(combine(h, 0x71c5ull) % std::uint64_t(bound));
+}
+
+}  // namespace cmtbone::chaos

@@ -1,0 +1,132 @@
+#pragma once
+// cmtbone::chaos — seeded schedule perturbation and fault injection for the
+// in-process message-passing runtime.
+//
+// The comm runtime's matching engine, deadlock detector, and abort paths are
+// normally exercised only under whatever interleaving the OS scheduler
+// happens to produce. This module turns the test suite into a concurrency
+// oracle: a ChaosPolicy (installed via comm::RunOptions) makes the runtime
+// insert bounded, seeded delays at operation hooks and hold/reorder message
+// deliveries — without ever violating the per-(source, dest, tag) FIFO
+// contract — so rare interleavings are explored on purpose and failing
+// schedules can be replayed from a single seed.
+//
+// Reproducibility contract: every injection decision is a pure hash of
+// (seed, stable event identity) — the sender's per-rank operation index, or
+// a message's (ctx, src, dest, tag, per-stream sequence number) — never of
+// wall-clock time or OS scheduling. The engine folds each decision into an
+// order-independent digest (commutative sum of hashes), so two runs of the
+// same deterministic workload under the same seed produce the same digest
+// even though the OS interleaves their threads differently. chaos_stress
+// uses that digest as its same-seed-same-schedule check.
+//
+// Note on MPI fidelity: holding a message of stream (src, dest, tagA) while
+// a later (src, dest, tagB) message passes is weaker than MPI's full
+// non-overtaking rule when a wildcard-tag receive is posted. Chaos tests
+// therefore assert per-(source, dest, tag) order and multiset completeness,
+// which every backend in this codebase relies on.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cmtbone::chaos {
+
+/// Which deterministic per-rank operation a hook fires for.
+enum class Hook : std::uint64_t {
+  kSend = 1,      // Comm::send_raw entry (covers collective trees too)
+  kRecvPost = 2,  // Comm::post_recv_raw entry
+  kWait = 3,      // Comm::wait_raw entry
+  kProbe = 4,     // Mailbox::probe entry (blocking probe / recv_vector)
+};
+
+/// Tunable injection plan. All randomness is derived from `seed`; a policy
+/// with zero probabilities and no forced abort only records the digest.
+struct ChaosPolicy {
+  /// Master seed; every decision hashes this with the event identity.
+  std::uint64_t seed = 1;
+
+  /// Chance that a rank-operation hook injects a delay.
+  double delay_probability = 0.0;
+  /// Upper bound (inclusive, microseconds) on one injected delay, before
+  /// the per-rank slowdown factor is applied.
+  int max_delay_us = 50;
+
+  /// Chance that Mailbox::deliver holds a message instead of matching it.
+  double hold_probability = 0.0;
+  /// Upper bound (inclusive) on how many mailbox events a held message
+  /// waits before release; bounds guarantee progress.
+  int max_hold_ticks = 8;
+
+  /// Per-global-rank multiplier on injected delay durations (empty = all
+  /// 1.0). Models a straggler node.
+  std::vector<double> rank_slowdown;
+
+  /// Forced fault: `abort_rank` throws ChaosAbortInjected once its
+  /// operation counter reaches `abort_at_op` (< 0 disables). Exercises the
+  /// abort/unwind paths at a seed-chosen point in the schedule.
+  int abort_rank = -1;
+  long long abort_at_op = -1;
+
+  /// Seed-derived sweep policy: draws every knob (delay/hold probabilities
+  /// and bounds, one straggler rank) from `seed` so a seed sweep explores
+  /// different perturbation mixes. Seed 0 injects nothing (digest only).
+  static ChaosPolicy for_seed(std::uint64_t seed, int nranks);
+};
+
+/// Thrown by the engine when the policy's forced abort triggers; unwinds
+/// the faulting rank exactly like a user exception, so every other rank
+/// must exit via JobAborted instead of hanging.
+struct ChaosAbortInjected : std::runtime_error {
+  ChaosAbortInjected(int rank, long long op)
+      : std::runtime_error("chaos: forced abort injected at rank " +
+                           std::to_string(rank) + ", op " +
+                           std::to_string(op)) {}
+};
+
+/// One engine per comm::run job. The comm layer calls the hooks; callers
+/// read the digest after the run. Thread-safe: each rank owns its counter
+/// slot, the digest is a commutative atomic accumulator.
+class ChaosEngine {
+ public:
+  ChaosEngine(ChaosPolicy policy, int nranks);
+
+  const ChaosPolicy& policy() const { return policy_; }
+  int nranks() const { return int(ranks_.size()); }
+
+  /// Per-rank operation hook (send / recv-post / wait / probe entry). May
+  /// sleep a bounded, seeded amount and may throw ChaosAbortInjected.
+  /// Must be called WITHOUT the mailbox mutex held (it can sleep).
+  void on_rank_op(int rank, Hook hook);
+
+  /// Deliver-side decision for the `seq`-th message of stream
+  /// (ctx, src, tag) -> dest: how many mailbox ticks to hold it (0 =
+  /// deliver immediately). Pure (no sleeping); safe under the mailbox lock.
+  int hold_ticks(int ctx, int src, int dest, int tag, std::uint64_t seq,
+                 std::size_t bytes);
+
+  /// Order-independent schedule digest: same workload + same seed => same
+  /// value, regardless of OS thread interleaving.
+  std::uint64_t digest() const {
+    return digest_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  double slowdown(int rank) const;
+  void note(std::uint64_t h) {
+    digest_.fetch_add(h | 1, std::memory_order_relaxed);
+  }
+
+  ChaosPolicy policy_;
+  // One counter per global rank, each written only by that rank's thread;
+  // padded so neighboring ranks do not share a cache line.
+  struct alignas(64) RankState {
+    long long ops = 0;
+  };
+  std::vector<RankState> ranks_;
+  std::atomic<std::uint64_t> digest_{0};
+};
+
+}  // namespace cmtbone::chaos

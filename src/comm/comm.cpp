@@ -87,9 +87,17 @@ void Comm::record(const char* op, double seconds, long long bytes,
 }
 
 // ---- raw (unprofiled) p2p ---------------------------------------------------
+//
+// The chaos hooks live here, below every profiled operation AND inside
+// every collective tree (collectives are built from these three calls), so
+// one hook site perturbs the whole runtime. Hooks run before the mailbox
+// lock is taken — they may sleep or throw ChaosAbortInjected.
 
 void Comm::send_raw(const void* buf, std::size_t bytes, int dest, int tag) {
   uni_->check_abort();
+  if (chaos::ChaosEngine* eng = uni_->chaos()) {
+    eng->on_rank_op(group_[rank_], chaos::Hook::kSend);
+  }
   assert(dest >= 0 && dest < size());
   Envelope env;
   env.ctx = ctx_;
@@ -102,11 +110,17 @@ void Comm::send_raw(const void* buf, std::size_t bytes, int dest, int tag) {
 
 Request Comm::post_recv_raw(void* buf, std::size_t capacity, int src, int tag) {
   uni_->check_abort();
+  if (chaos::ChaosEngine* eng = uni_->chaos()) {
+    eng->on_rank_op(group_[rank_], chaos::Hook::kRecvPost);
+  }
   int global_src = src == kAnySource ? kAnySource : group_.at(src);
   return my_box().post_recv(ctx_, global_src, tag, buf, capacity);
 }
 
 Status Comm::wait_raw(const Request& req) {
+  if (chaos::ChaosEngine* eng = uni_->chaos()) {
+    eng->on_rank_op(group_[rank_], chaos::Hook::kWait);
+  }
   // Block on the poster's mailbox; job-aware so a crashed peer or a
   // provable deadlock unwinds this rank instead of hanging it.
   return my_box().wait(req, uni_);
@@ -226,8 +240,19 @@ int Comm::waitany(std::span<Request> reqs, Status* status) {
     uni_->check_abort();
     // Deliveries happen-before a rank's exit, so one full rescan after
     // observing "everyone else exited" is conclusive.
-    if (doomed_seen) throw DeadlockDetected{};
+    if (doomed_seen) {
+      // Name the first still-pending receive so the failure is diagnosable.
+      for (const Request& r : reqs) {
+        if (r.valid() && r.state()->is_recv) {
+          const RequestState& rs = *r.state();
+          throw DeadlockDetected(group_[rank_], rs.ctx, rs.src, rs.tag);
+        }
+      }
+      throw DeadlockDetected{};
+    }
     if (uni_->last_rank_standing()) {
+      // A chaos-held envelope must not masquerade as a missing sender.
+      my_box().flush_held();
       doomed_seen = true;
       continue;
     }

@@ -2,15 +2,22 @@
 
 #include <chrono>
 #include <cstring>
+#include <set>
 #include <stdexcept>
 
 namespace cmtbone::comm {
 
+void Mailbox::configure(int owner_rank, chaos::ChaosEngine* chaos) {
+  owner_ = owner_rank;
+  chaos_ = chaos;
+}
+
 void Mailbox::complete_locked(RequestState& rs, const Envelope& env) {
   if (env.payload.size() > rs.capacity) {
-    throw std::runtime_error("comm: message truncation (recv buffer " +
-                             std::to_string(rs.capacity) + " B < message " +
-                             std::to_string(env.payload.size()) + " B)");
+    throw std::runtime_error(
+        "comm: message truncation (recv buffer " + std::to_string(rs.capacity) +
+        " B < message " + std::to_string(env.payload.size()) + " B from src " +
+        std::to_string(env.src) + ", tag " + std::to_string(env.tag) + ")");
   }
   if (!env.payload.empty()) {
     std::memcpy(rs.buf, env.payload.data(), env.payload.size());
@@ -21,8 +28,7 @@ void Mailbox::complete_locked(RequestState& rs, const Envelope& env) {
   rs.done = true;
 }
 
-void Mailbox::deliver(Envelope env) {
-  std::lock_guard<std::mutex> lock(mu_);
+void Mailbox::deliver_locked(Envelope env) {
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
     RequestState& rs = **it;
     if (matches(env, rs.ctx, rs.src, rs.tag)) {
@@ -38,6 +44,74 @@ void Mailbox::deliver(Envelope env) {
   cv_.notify_all();
 }
 
+void Mailbox::pump_locked() {
+  ++tick_;
+  if (held_.empty()) return;
+  // Release due envelopes front to back. A stream whose earliest held
+  // envelope is not yet due blocks its later envelopes, keeping
+  // per-(source, dest, tag) FIFO intact.
+  std::set<std::tuple<int, int, int>> blocked;
+  for (auto it = held_.begin(); it != held_.end();) {
+    auto key = std::make_tuple(it->env.ctx, it->env.src, it->env.tag);
+    if (blocked.count(key) != 0) {
+      ++it;
+      continue;
+    }
+    if (it->due <= tick_) {
+      Envelope env = std::move(it->env);
+      it = held_.erase(it);
+      deliver_locked(std::move(env));
+    } else {
+      blocked.insert(key);
+      ++it;
+    }
+  }
+}
+
+void Mailbox::flush_held_locked() {
+  while (!held_.empty()) {
+    Envelope env = std::move(held_.front().env);
+    held_.pop_front();
+    deliver_locked(std::move(env));
+  }
+}
+
+void Mailbox::release_stream_locked(int ctx, int src, int tag) {
+  for (auto it = held_.begin(); it != held_.end();) {
+    if (it->env.ctx == ctx && it->env.src == src && it->env.tag == tag) {
+      Envelope env = std::move(it->env);
+      it = held_.erase(it);
+      deliver_locked(std::move(env));
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Mailbox::flush_held() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_held_locked();
+}
+
+void Mailbox::deliver(Envelope env) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (chaos_ != nullptr) {
+    pump_locked();
+    const std::uint64_t seq =
+        stream_seq_[std::make_tuple(env.ctx, env.src, env.tag)]++;
+    const int hold = chaos_->hold_ticks(env.ctx, env.src, owner_, env.tag,
+                                        seq, env.payload.size());
+    if (hold > 0) {
+      held_.push_back({std::move(env), tick_ + std::uint64_t(hold)});
+      return;
+    }
+    // Delivering now: earlier held messages of the same stream must go
+    // first so this one never overtakes them.
+    if (!held_.empty()) release_stream_locked(env.ctx, env.src, env.tag);
+  }
+  deliver_locked(std::move(env));
+}
+
 Request Mailbox::post_recv(int ctx, int src, int tag, void* buf,
                            std::size_t capacity) {
   auto rs = std::make_shared<RequestState>();
@@ -50,6 +124,7 @@ Request Mailbox::post_recv(int ctx, int src, int tag, void* buf,
   rs->home = this;
 
   std::lock_guard<std::mutex> lock(mu_);
+  if (chaos_ != nullptr) pump_locked();
   for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
     if (matches(*it, ctx, src, tag)) {
       complete_locked(*rs, *it);
@@ -66,15 +141,29 @@ Status Mailbox::wait(const Request& req, const JobControl* job) {
   RequestState& rs = *req.state();
   if (!rs.is_recv) return rs.status;  // sends complete at post time
   std::unique_lock<std::mutex> lock(mu_);
-  if (job == nullptr) {
+  if (job == nullptr && chaos_ == nullptr) {
     cv_.wait(lock, [&rs] { return rs.done; });
-  } else {
-    // Poll job state at a coarse period so a crashed peer (or a provable
-    // deadlock) unwinds this rank instead of leaving it blocked forever.
-    while (!cv_.wait_for(lock, std::chrono::milliseconds(20),
-                         [&rs] { return rs.done; })) {
-      if (job->aborted()) throw JobAborted{};
-      if (job->last_rank_standing()) throw DeadlockDetected{};
+    return rs.status;
+  }
+  // Poll at a coarse period so a crashed peer (or a provable deadlock)
+  // unwinds this rank instead of leaving it blocked forever. Under chaos
+  // the period shortens so held envelopes release promptly.
+  const auto period = std::chrono::milliseconds(chaos_ != nullptr ? 2 : 20);
+  while (!cv_.wait_for(lock, period, [&rs] { return rs.done; })) {
+    if (chaos_ != nullptr) {
+      pump_locked();
+      if (rs.done) break;
+    }
+    if (job == nullptr) continue;
+    if (job->aborted()) throw JobAborted(owner_, rs.ctx, rs.src, rs.tag);
+    if (job->last_rank_standing()) {
+      // A held envelope may be the very message this receive needs: release
+      // everything before concluding that no sender can exist.
+      if (chaos_ != nullptr) {
+        flush_held_locked();
+        if (rs.done) break;
+      }
+      throw DeadlockDetected(owner_, rs.ctx, rs.src, rs.tag);
     }
   }
   return rs.status;
@@ -85,10 +174,14 @@ bool Mailbox::test(const Request& req) {
   RequestState& rs = *req.state();
   if (!rs.is_recv) return true;
   std::lock_guard<std::mutex> lock(mu_);
+  if (chaos_ != nullptr) pump_locked();
   return rs.done;
 }
 
 Status Mailbox::probe(int ctx, int src, int tag, const JobControl* job) {
+  // Probe entry is a deterministic per-rank operation: give chaos its hook
+  // (which may sleep or force-abort) before taking the mailbox lock.
+  if (chaos_ != nullptr) chaos_->on_rank_op(owner_, chaos::Hook::kProbe);
   std::unique_lock<std::mutex> lock(mu_);
   auto find = [&]() -> const Envelope* {
     for (const Envelope& env : unexpected_) {
@@ -101,13 +194,24 @@ Status Mailbox::probe(int ctx, int src, int tag, const JobControl* job) {
   // exited yet), which makes "no match AND everyone else exited" a proof of
   // deadlock rather than a race with in-flight delivery.
   const Envelope* hit = nullptr;
-  while ((hit = find()) == nullptr) {
-    if (job == nullptr) {
+  for (;;) {
+    if (chaos_ != nullptr) pump_locked();
+    if ((hit = find()) != nullptr) break;
+    if (job != nullptr) {
+      if (job->aborted()) throw JobAborted(owner_, ctx, src, tag);
+      if (job->last_rank_standing()) {
+        if (chaos_ != nullptr) {
+          flush_held_locked();
+          if ((hit = find()) != nullptr) break;
+        }
+        throw DeadlockDetected(owner_, ctx, src, tag);
+      }
+    }
+    if (job == nullptr && chaos_ == nullptr) {
       cv_.wait(lock);
     } else {
-      if (job->aborted()) throw JobAborted{};
-      if (job->last_rank_standing()) throw DeadlockDetected{};
-      cv_.wait_for(lock, std::chrono::milliseconds(20));
+      cv_.wait_for(lock,
+                   std::chrono::milliseconds(chaos_ != nullptr ? 2 : 20));
     }
   }
   Status s;
@@ -119,6 +223,7 @@ Status Mailbox::probe(int ctx, int src, int tag, const JobControl* job) {
 
 bool Mailbox::iprobe(int ctx, int src, int tag, Status* status) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (chaos_ != nullptr) pump_locked();
   for (const Envelope& env : unexpected_) {
     if (matches(env, ctx, src, tag)) {
       if (status != nullptr) {

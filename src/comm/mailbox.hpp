@@ -6,13 +6,25 @@
 // MPI's rules: a posted receive takes the earliest queued message that
 // matches, and an arriving message completes the earliest posted receive
 // that matches.
+//
+// Chaos integration: when a chaos::ChaosEngine is attached (see
+// configure()), deliver() may hold an incoming envelope for a bounded,
+// seeded number of mailbox events before it becomes matchable, reordering
+// deliveries across streams while preserving per-(source, dest, tag) FIFO.
+// Every blocking path pumps the held queue so progress is guaranteed, and
+// the deadlock detector flushes it before concluding a provable deadlock
+// (a held message must never be mistaken for a missing one).
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 
+#include "chaos/chaos.hpp"
 #include "comm/message.hpp"
 #include "comm/request.hpp"
 
@@ -20,8 +32,13 @@ namespace cmtbone::comm {
 
 class Mailbox {
  public:
+  /// Runtime wiring: the owning rank's global id and the job's chaos engine
+  /// (nullptr = no injection). Called once by the Universe before ranks run.
+  void configure(int owner_rank, chaos::ChaosEngine* chaos);
+
   /// Called from the sender's thread. Either completes a posted receive or
-  /// queues the envelope as unexpected.
+  /// queues the envelope as unexpected. Under chaos the envelope may first
+  /// sit in the held queue for a bounded number of mailbox events.
   void deliver(Envelope env);
 
   /// Post a nonblocking receive for the owning rank. If a queued unexpected
@@ -44,14 +61,47 @@ class Mailbox {
   /// metadata without receiving it (MPI_Probe). Abort-aware like wait().
   Status probe(int ctx, int src, int tag, const JobControl* job = nullptr);
 
+  /// Release every chaos-held envelope immediately (in order). Called by
+  /// blocked operations before a DeadlockDetected verdict; no-op without
+  /// chaos or when nothing is held.
+  void flush_held();
+
  private:
   // Copies payload into the receive buffer and fills status. Caller holds mu_.
   static void complete_locked(RequestState& rs, const Envelope& env);
+
+  // The pre-chaos deliver(): match a pending receive or queue as
+  // unexpected. Caller holds mu_.
+  void deliver_locked(Envelope env);
+
+  // Advance the chaos tick and release held envelopes that are due,
+  // preserving per-stream order. Caller holds mu_.
+  void pump_locked();
+
+  // Release all held envelopes (queue order). Caller holds mu_.
+  void flush_held_locked();
+
+  // Release held envelopes of one (ctx, src, tag) stream, in order, so an
+  // immediately-delivered message never overtakes them. Caller holds mu_.
+  void release_stream_locked(int ctx, int src, int tag);
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Envelope> unexpected_;
   std::deque<std::shared_ptr<RequestState>> pending_;
+
+  // --- chaos state (all under mu_) ---------------------------------------
+  int owner_ = -1;
+  chaos::ChaosEngine* chaos_ = nullptr;
+  std::uint64_t tick_ = 0;
+  struct Held {
+    Envelope env;
+    std::uint64_t due;  // tick at which the envelope becomes deliverable
+  };
+  std::deque<Held> held_;
+  // Per-(ctx, src, tag) arrival counters: the stable message identity the
+  // engine's hold decision hashes.
+  std::map<std::tuple<int, int, int>, std::uint64_t> stream_seq_;
 };
 
 }  // namespace cmtbone::comm

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace cmtbone::comm {
@@ -32,20 +33,47 @@ struct Envelope {
   std::vector<std::byte> payload;
 };
 
+/// Printable names for a receive spec's wildcards (diagnostics).
+inline std::string source_name(int src) {
+  return src == kAnySource ? std::string("any") : std::to_string(src);
+}
+inline std::string tag_name(int tag) {
+  return tag == kAnyTag ? std::string("any") : std::to_string(tag);
+}
+/// "rank R blocked on recv(ctx=C, src=S, tag=T)" — shared by the failure
+/// exceptions so a failing chaos seed is diagnosable from the text alone.
+inline std::string blocked_recv_string(int rank, int ctx, int src, int tag) {
+  return "rank " + std::to_string(rank) + " blocked on recv(ctx=" +
+         std::to_string(ctx) + ", src=" + source_name(src) +
+         ", tag=" + tag_name(tag) + ")";
+}
+
 /// Thrown out of blocked operations when another rank aborted with an
-/// exception, so the whole job unwinds instead of deadlocking.
+/// exception, so the whole job unwinds instead of deadlocking. The detailed
+/// form names the unwound rank and the receive it was stuck in.
 struct JobAborted : std::runtime_error {
   JobAborted() : std::runtime_error("comm: job aborted by another rank") {}
+  JobAborted(int rank, int ctx, int src, int tag)
+      : std::runtime_error("comm: job aborted by another rank; " +
+                           blocked_recv_string(rank, ctx, src, tag)) {}
 };
 
 /// Thrown out of a blocked operation that can provably never complete:
 /// every other rank has already exited its body, so no one is left to send.
 /// The usual cause is a collective called inside a rank-conditional block.
+/// The detailed form names the blocked rank and the stuck receive's
+/// (context, source, tag) so failing seeds can be diagnosed from the text.
 struct DeadlockDetected : std::runtime_error {
   DeadlockDetected()
       : std::runtime_error(
             "comm: blocked operation cannot complete - all other ranks have "
             "exited (collective inside a rank-conditional block?)") {}
+  DeadlockDetected(int rank, int ctx, int src, int tag)
+      : std::runtime_error(
+            "comm: blocked operation cannot complete - all other ranks have "
+            "exited; " +
+            blocked_recv_string(rank, ctx, src, tag) +
+            " (collective inside a rank-conditional block?)") {}
 };
 
 /// Job-level state blocked operations poll to unwind instead of hanging.

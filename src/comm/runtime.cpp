@@ -12,8 +12,13 @@ namespace cmtbone::comm {
 void run(int nranks, const std::function<void(Comm&)>& body,
          const RunOptions& options) {
   if (nranks <= 0) throw std::invalid_argument("comm::run: nranks must be > 0");
+  if (options.chaos != nullptr && options.chaos->nranks() < nranks) {
+    throw std::invalid_argument(
+        "comm::run: chaos engine sized for fewer ranks than the job");
+  }
 
-  Universe universe(nranks, options.comm_profiler, options.tracer);
+  Universe universe(nranks, options.comm_profiler, options.tracer,
+                    options.chaos);
   std::vector<std::exception_ptr> errors(nranks);
   if (options.call_profiles != nullptr) {
     options.call_profiles->clear();

@@ -24,6 +24,11 @@ struct RunOptions {
   std::vector<prof::CallProfile>* call_profiles = nullptr;
   /// Record a communication trace for behavioral emulation (trace/replay).
   trace::Tracer* tracer = nullptr;
+  /// Attach a chaos engine: seeded schedule perturbation and fault
+  /// injection threaded through the mailbox and collective trees. The
+  /// caller owns the engine (construct it with the job's rank count) and
+  /// can read its schedule digest after run() returns.
+  chaos::ChaosEngine* chaos = nullptr;
 };
 
 /// Run `body` on `nranks` ranks. Blocks until all ranks finish.

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "comm/mailbox.hpp"
 #include "prof/commprof.hpp"
 #include "trace/trace.hpp"
@@ -17,10 +18,14 @@ namespace cmtbone::comm {
 class Universe : public JobControl {
  public:
   explicit Universe(int nranks, prof::CommProfiler* profiler = nullptr,
-                    trace::Tracer* tracer = nullptr)
-      : boxes_(nranks), profiler_(profiler), tracer_(tracer),
+                    trace::Tracer* tracer = nullptr,
+                    chaos::ChaosEngine* chaos = nullptr)
+      : boxes_(nranks), profiler_(profiler), tracer_(tracer), chaos_(chaos),
         active_(nranks) {
-    for (auto& b : boxes_) b = std::make_unique<Mailbox>();
+    for (int r = 0; r < nranks; ++r) {
+      boxes_[r] = std::make_unique<Mailbox>();
+      boxes_[r]->configure(r, chaos);
+    }
   }
 
   int size() const { return int(boxes_.size()); }
@@ -29,6 +34,7 @@ class Universe : public JobControl {
 
   prof::CommProfiler* profiler() const { return profiler_; }
   trace::Tracer* tracer() const { return tracer_; }
+  chaos::ChaosEngine* chaos() const { return chaos_; }
 
   /// Allocate a fresh communicator context id (collision-free by
   /// construction). Context 0 is the world communicator.
@@ -53,6 +59,7 @@ class Universe : public JobControl {
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   prof::CommProfiler* profiler_;
   trace::Tracer* tracer_;
+  chaos::ChaosEngine* chaos_;
   std::atomic<int> ctx_counter_{1};
   std::atomic<bool> aborted_{false};
   std::atomic<int> active_{0};

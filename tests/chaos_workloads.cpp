@@ -1,0 +1,285 @@
+#include "chaos_workloads.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "comm/runtime.hpp"
+#include "gs/crystal.hpp"
+#include "gs/gather_scatter.hpp"
+#include "util/rng.hpp"
+
+namespace chaosws {
+
+using cmtbone::comm::Comm;
+using cmtbone::comm::ReduceOp;
+using cmtbone::util::SplitMix64;
+
+void require(bool ok, const std::string& msg) {
+  if (!ok) throw std::runtime_error("chaos workload check failed: " + msg);
+}
+
+std::uint64_t run_with_chaos(int nranks, std::uint64_t seed,
+                             const std::function<void(Comm&)>& body) {
+  cmtbone::chaos::ChaosEngine engine(
+      cmtbone::chaos::ChaosPolicy::for_seed(seed, nranks), nranks);
+  cmtbone::comm::RunOptions options;
+  options.chaos = &engine;
+  cmtbone::comm::run(nranks, body, options);
+  return engine.digest();
+}
+
+namespace {
+
+long long encode(int src, int tag, int i) {
+  return (long long)src * 1'000'000 + (long long)tag * 1'000 + i;
+}
+
+// --- p2p: many tags per pair; receivers assert per-(src,tag) FIFO ----------
+
+void p2p_body(Comm& world) {
+  const int p = world.size();
+  const int me = world.rank();
+  constexpr int kMsgs = 6;
+  constexpr int kTags[] = {5, 9, 13};
+
+  // Eager sends complete at post, so sending everything first cannot
+  // deadlock regardless of how chaos delays the receivers.
+  for (int d = 0; d < p; ++d) {
+    if (d == me) continue;
+    for (int tag : kTags) {
+      for (int i = 0; i < kMsgs; ++i) {
+        long long v = encode(me, tag, i);
+        world.send(std::span<const long long>(&v, 1), d, tag);
+      }
+    }
+  }
+  for (int s = 0; s < p; ++s) {
+    if (s == me) continue;
+    for (int tag : kTags) {
+      for (int i = 0; i < kMsgs; ++i) {
+        long long v = -1;
+        world.recv(std::span<long long>(&v, 1), s, tag);
+        // FIFO within (source, tag): message i must arrive i-th.
+        require(v == encode(s, tag, i), "p2p: out-of-order or corrupt message");
+      }
+    }
+  }
+}
+
+// --- allreduce --------------------------------------------------------------
+
+void allreduce_body(Comm& world) {
+  const int p = world.size();
+  const int me = world.rank();
+  constexpr int kN = 17;
+
+  std::vector<double> data(kN), want_sum(kN, 0.0), want_max(kN);
+  for (int i = 0; i < kN; ++i) data[i] = 1.0 + me * 0.5 + i * 0.25;
+  for (int i = 0; i < kN; ++i) {
+    want_max[i] = 0.0;
+    for (int r = 0; r < p; ++r) {
+      double v = 1.0 + r * 0.5 + i * 0.25;
+      want_sum[i] += v;
+      want_max[i] = std::max(want_max[i], v);
+    }
+  }
+  std::vector<double> sum = data;
+  world.allreduce(std::span<double>(sum), ReduceOp::kSum);
+  std::vector<double> mx = data;
+  world.allreduce(std::span<double>(mx), ReduceOp::kMax);
+  for (int i = 0; i < kN; ++i) {
+    require(std::abs(sum[i] - want_sum[i]) < 1e-9, "allreduce: bad sum");
+    require(mx[i] == want_max[i], "allreduce: bad max");
+  }
+  long long one = world.allreduce_one<long long>(me + 1, ReduceOp::kSum);
+  require(one == (long long)p * (p + 1) / 2, "allreduce_one: bad scalar sum");
+}
+
+// --- alltoallv --------------------------------------------------------------
+
+int a2a_count(int src, int dest) { return (src * 7 + dest * 3) % 5 + 1; }
+
+void alltoallv_body(Comm& world) {
+  const int p = world.size();
+  const int me = world.rank();
+
+  std::vector<long long> send;
+  std::vector<int> counts(p);
+  for (int d = 0; d < p; ++d) {
+    counts[d] = a2a_count(me, d);
+    for (int k = 0; k < counts[d]; ++k) send.push_back(encode(me, d, k));
+  }
+  std::vector<int> recv_counts;
+  std::vector<long long> got = world.alltoallv(
+      std::span<const long long>(send), std::span<const int>(counts),
+      &recv_counts);
+
+  require((int)recv_counts.size() == p, "alltoallv: recv_counts size");
+  std::size_t off = 0;
+  for (int s = 0; s < p; ++s) {
+    require(recv_counts[s] == a2a_count(s, me), "alltoallv: bad recv count");
+    for (int k = 0; k < recv_counts[s]; ++k) {
+      require(got.at(off + k) == encode(s, me, k), "alltoallv: bad payload");
+    }
+    off += recv_counts[s];
+  }
+  require(off == got.size(), "alltoallv: trailing data");
+}
+
+// --- crystal router ---------------------------------------------------------
+
+struct CrystalRec {
+  int src;
+  int dest;
+  long long val;
+};
+
+std::vector<CrystalRec> crystal_records(int rank, int p, std::uint64_t seed) {
+  SplitMix64 rng(cmtbone::util::rank_seed(seed ^ 0xc7a05ull, rank));
+  int n = 3 + int(rng.next() % 6);
+  std::vector<CrystalRec> recs(n);
+  for (auto& r : recs) {
+    r.src = rank;
+    r.dest = int(rng.next() % std::uint64_t(p));
+    r.val = (long long)(rng.next() & 0xffffffull);
+  }
+  return recs;
+}
+
+void crystal_body(Comm& world, std::uint64_t seed) {
+  const int p = world.size();
+  const int me = world.rank();
+
+  std::vector<CrystalRec> recs = crystal_records(me, p, seed);
+  std::vector<int> dest(recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) dest[i] = recs[i].dest;
+
+  cmtbone::gs::CrystalRouter router(world);
+  std::vector<CrystalRec> got = router.route_records(
+      std::span<const CrystalRec>(recs), std::span<const int>(dest));
+
+  // Oracle: regenerate every rank's records locally; the multiset of
+  // records addressed to me must match what arrived (order unspecified).
+  std::vector<CrystalRec> want;
+  for (int r = 0; r < p; ++r) {
+    for (const CrystalRec& rec : crystal_records(r, p, seed)) {
+      if (rec.dest == me) want.push_back(rec);
+    }
+  }
+  auto key = [](const CrystalRec& a, const CrystalRec& b) {
+    return std::tie(a.src, a.dest, a.val) < std::tie(b.src, b.dest, b.val);
+  };
+  std::sort(got.begin(), got.end(), key);
+  std::sort(want.begin(), want.end(), key);
+  require(got.size() == want.size(), "crystal: record count");
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    require(got[i].src == want[i].src && got[i].dest == want[i].dest &&
+                got[i].val == want[i].val,
+            "crystal: record content");
+  }
+}
+
+// --- gather-scatter (one workload per nonlocal algorithm) -------------------
+
+// Deterministic slot layout: ids drawn from a small global space so ranks
+// share plenty of ids; includes local duplicates.
+std::vector<long long> gs_slot_ids(int rank, int p, std::uint64_t seed) {
+  SplitMix64 rng(cmtbone::util::rank_seed(seed ^ 0x95ull, rank));
+  const long long global = 4 * p + 3;
+  int n = 6 + int(rng.next() % 7);
+  std::vector<long long> ids(n);
+  for (auto& id : ids) id = (long long)(rng.next() % std::uint64_t(global));
+  return ids;
+}
+
+double gs_slot_value(int rank, int slot) {
+  return 1.0 + rank * 0.75 + slot * 0.125;
+}
+
+void gs_body(Comm& world, std::uint64_t seed, cmtbone::gs::Method method) {
+  const int p = world.size();
+  const int me = world.rank();
+
+  std::vector<long long> ids = gs_slot_ids(me, p, seed);
+  std::vector<double> values(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    values[i] = gs_slot_value(me, int(i));
+  }
+
+  // Oracle: every rank can regenerate the whole job's slots.
+  std::map<long long, double> want;
+  for (int r = 0; r < p; ++r) {
+    std::vector<long long> rids = gs_slot_ids(r, p, seed);
+    for (std::size_t i = 0; i < rids.size(); ++i) {
+      want[rids[i]] += gs_slot_value(r, int(i));
+    }
+  }
+
+  cmtbone::gs::GatherScatter gs(world, ids, method);
+  gs.exec(std::span<double>(values), ReduceOp::kSum);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    require(std::abs(values[i] - want.at(ids[i])) < 1e-9,
+            "gs: reduced value mismatch");
+  }
+}
+
+struct Workload {
+  const char* name;
+  int nranks;
+  std::function<void(Comm&, std::uint64_t)> body;
+};
+
+const std::vector<Workload>& registry() {
+  using cmtbone::gs::Method;
+  static const std::vector<Workload> table = {
+      {"p2p", 4, [](Comm& w, std::uint64_t) { p2p_body(w); }},
+      {"allreduce", 5, [](Comm& w, std::uint64_t) { allreduce_body(w); }},
+      {"alltoallv", 4, [](Comm& w, std::uint64_t) { alltoallv_body(w); }},
+      {"crystal", 5, [](Comm& w, std::uint64_t s) { crystal_body(w, s); }},
+      {"gs_pairwise", 4,
+       [](Comm& w, std::uint64_t s) { gs_body(w, s, Method::kPairwise); }},
+      {"gs_crystal", 4,
+       [](Comm& w, std::uint64_t s) { gs_body(w, s, Method::kCrystalRouter); }},
+      {"gs_allreduce", 4,
+       [](Comm& w, std::uint64_t s) { gs_body(w, s, Method::kAllReduce); }},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  for (const Workload& w : registry()) names.emplace_back(w.name);
+  return names;
+}
+
+std::uint64_t run_workload(const std::string& name, std::uint64_t seed) {
+  for (const Workload& w : registry()) {
+    if (name == w.name) {
+      return run_with_chaos(w.nranks, seed,
+                            [&](Comm& c) { w.body(c, seed); });
+    }
+  }
+  throw std::runtime_error("unknown chaos workload: " + name);
+}
+
+std::uint64_t replay(const std::string& spec) {
+  auto slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size()) {
+    throw std::runtime_error("replay spec must be workload/seed, got: " + spec);
+  }
+  std::string name = spec.substr(0, slash);
+  std::uint64_t seed = 0;
+  std::istringstream in(spec.substr(slash + 1));
+  in >> seed;
+  if (in.fail() || !in.eof()) {
+    throw std::runtime_error("replay spec has a malformed seed: " + spec);
+  }
+  return run_workload(name, seed);
+}
+
+}  // namespace chaosws

@@ -1,0 +1,47 @@
+#pragma once
+// Shared chaos workloads: small, self-verifying comm/gs jobs run under a
+// seeded ChaosEngine. Used by both the gtest suite (test_chaos.cpp) and the
+// standalone seed-sweep runner (chaos_stress.cpp), so a seed that fails in
+// the sweep replays byte-identically inside the debugger-friendly test
+// binary.
+//
+// Every workload validates its own results against a sequential oracle and
+// throws std::runtime_error on any mismatch (gtest-free, so the stress
+// runner does not need a test framework). The return value is the chaos
+// schedule digest: same (workload, seed) must always produce the same
+// digest — that is the reproducibility contract chaos_stress checks.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "comm/comm.hpp"
+
+namespace chaosws {
+
+/// All registered workload names, in sweep order.
+std::vector<std::string> workload_names();
+
+/// Run one workload under chaos policy ChaosPolicy::for_seed(seed, nranks).
+/// Returns the schedule digest. Throws std::runtime_error on a
+/// verification failure or unknown name.
+std::uint64_t run_workload(const std::string& name, std::uint64_t seed);
+
+/// Replay a failure by its printed spec, "workload/seed" (e.g.
+/// "alltoallv/17"). Returns the digest. Throws on parse errors and on the
+/// workload's own failures.
+std::uint64_t replay(const std::string& spec);
+
+/// Run an arbitrary rank body on `nranks` ranks under the derived-for-seed
+/// chaos policy; returns the schedule digest. ChaosAbortInjected (seed 0
+/// policies never abort; for_seed policies never set abort_rank) cannot
+/// occur here, so any escape is a workload bug.
+std::uint64_t run_with_chaos(int nranks, std::uint64_t seed,
+                             const std::function<void(cmtbone::comm::Comm&)>& body);
+
+/// Oracle-check helper: throw std::runtime_error(msg) when !ok.
+void require(bool ok, const std::string& msg);
+
+}  // namespace chaosws

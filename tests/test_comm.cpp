@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "comm/runtime.hpp"
 #include "util/rng.hpp"
 
@@ -540,6 +543,99 @@ TEST(CommSplit, KeyControlsOrdering) {
     Comm rev = world.split(0, world.size() - world.rank());
     EXPECT_EQ(rev.rank(), world.size() - 1 - world.rank());
   });
+}
+
+TEST(PointToPoint, ProbeRacesConcurrentDeliver) {
+  // Rank 0 probes while rank 1 is still delivering: every probe must
+  // return coherent metadata (size, source, tag) for a message that a
+  // subsequent sized receive then gets in full. Sizes vary so a stale or
+  // torn probe result shows up as a truncation or content mismatch.
+  constexpr int kMsgs = 64;
+  cmtbone::comm::run(2, [](Comm& world) {
+    if (world.rank() == 1) {
+      for (int i = 0; i < kMsgs; ++i) {
+        std::vector<int> payload(1 + i % 7, i);
+        world.send(std::span<const int>(payload), 0, /*tag=*/i % 3);
+        if (i % 4 == 0) std::this_thread::yield();
+      }
+      return;
+    }
+    for (int n = 0; n < kMsgs; ++n) {
+      Status meta = world.probe(kAnySource, kAnyTag);
+      EXPECT_EQ(meta.source, 1);
+      std::vector<int> got =
+          world.recv_vector<int>(meta.source, meta.tag);
+      EXPECT_EQ(got.size(), meta.bytes / sizeof(int));
+      ASSERT_FALSE(got.empty());
+      for (int v : got) EXPECT_EQ(v, got.front());
+      EXPECT_EQ(got.size(), 1 + std::size_t(got.front()) % 7);
+      EXPECT_EQ(got.front() % 3, meta.tag);
+    }
+    // Nothing left behind.
+    EXPECT_FALSE(world.iprobe(kAnySource, kAnyTag));
+  });
+}
+
+TEST(PointToPoint, TestPollingCompletesIsendIrecv) {
+  // Drive both halves of a nonblocking exchange to completion purely via
+  // test() polling — no wait() anywhere.
+  cmtbone::comm::run(2, [](Comm& world) {
+    int peer = 1 - world.rank();
+    std::vector<long long> in(5, -1), out(5);
+    std::iota(out.begin(), out.end(), 100 * world.rank());
+    Request recv = world.irecv(std::span<long long>(in), peer, 11);
+    if (world.rank() == 1) {
+      // Let rank 0 spin on test() for a while before the send lands.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    Request send = world.isend(std::span<const long long>(out), peer, 11);
+    while (!world.test(send)) std::this_thread::yield();
+    while (!world.test(recv)) std::this_thread::yield();
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(in[i], 100 * peer + i);
+    // A completed-and-cleared request stays null.
+    EXPECT_FALSE(send.valid());
+    EXPECT_FALSE(recv.valid());
+  });
+}
+
+TEST(PointToPoint, AnySourceOverlappingTagsUnderChaos) {
+  // Three senders share two tags; chaos holds and delays scramble arrival
+  // order across streams. Wildcard-source receives must still see each
+  // (source, tag) stream in order and drain exactly the sent multiset.
+  constexpr int kRanks = 4;
+  constexpr int kMsgs = 12;
+  constexpr int kTags[] = {3, 4};
+  cmtbone::chaos::ChaosEngine engine(
+      cmtbone::chaos::ChaosPolicy::for_seed(77, kRanks), kRanks);
+  cmtbone::comm::RunOptions options;
+  options.chaos = &engine;
+  cmtbone::comm::run(
+      kRanks,
+      [&](Comm& world) {
+        if (world.rank() != 0) {
+          for (int i = 0; i < kMsgs; ++i) {
+            for (int tag : kTags) {
+              long long v = world.rank() * 10000 + tag * 100 + i;
+              world.send(std::span<const long long>(&v, 1), 0, tag);
+            }
+          }
+          return;
+        }
+        for (int tag : kTags) {
+          int next[kRanks] = {0, 0, 0, 0};
+          for (int n = 0; n < (kRanks - 1) * kMsgs; ++n) {
+            long long v = -1;
+            Status s = world.recv(std::span<long long>(&v, 1), kAnySource, tag);
+            ASSERT_GE(s.source, 1);
+            ASSERT_LT(s.source, kRanks);
+            EXPECT_EQ(v, s.source * 10000 + tag * 100 + next[s.source]);
+            ++next[s.source];
+          }
+          for (int src = 1; src < kRanks; ++src) EXPECT_EQ(next[src], kMsgs);
+        }
+      },
+      options);
+  EXPECT_NE(engine.digest(), 0u);
 }
 
 TEST(CommSplit, SubcommTrafficDoesNotCrossGroups) {

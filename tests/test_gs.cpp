@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "comm/runtime.hpp"
 #include "gs/crystal.hpp"
 #include "gs/gather_scatter.hpp"
@@ -532,5 +533,82 @@ TEST_P(CrystalRoute, StageCountIsCeilLog2) {
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, CrystalRoute,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 11, 16));
+
+// ---- degenerate topologies under chaos -------------------------------------
+//
+// Each case runs all three exchange algorithms against the serial oracle
+// while a seeded ChaosEngine delays and reorders the runtime's messages.
+// Degenerate sharing patterns exercise the empty-message and
+// nothing-to-exchange paths, where a chaos hold with no follow-up traffic
+// would expose any missed pump.
+
+void check_gs_under_chaos(const std::vector<std::vector<long long>>& ids,
+                          Method method, std::uint64_t chaos_seed) {
+  const int p = int(ids.size());
+  const std::uint64_t value_seed = 0xbeef;
+  auto expected = oracle_reduce(ids, value_seed, ReduceOp::kSum);
+  cmtbone::chaos::ChaosEngine engine(
+      cmtbone::chaos::ChaosPolicy::for_seed(chaos_seed, p), p);
+  cmtbone::comm::RunOptions options;
+  options.chaos = &engine;
+  cmtbone::comm::run(
+      p,
+      [&](Comm& world) {
+        const auto& my_ids = ids[world.rank()];
+        GatherScatter gs(world, my_ids, method);
+        std::vector<double> values(my_ids.size());
+        for (std::size_t s = 0; s < values.size(); ++s) {
+          values[s] = slot_value(value_seed, world.rank(), s);
+        }
+        gs.exec(std::span<double>(values), ReduceOp::kSum);
+        for (std::size_t s = 0; s < values.size(); ++s) {
+          ASSERT_NEAR(values[s], expected.at(my_ids[s]), 1e-9)
+              << "method=" << cmtbone::gs::method_name(method)
+              << " rank=" << world.rank() << " slot=" << s;
+        }
+      },
+      options);
+}
+
+const Method kAllGsMethods[] = {Method::kPairwise, Method::kCrystalRouter,
+                                Method::kAllReduce};
+
+TEST(GsChaos, SingleRankUnderChaos) {
+  std::vector<std::vector<long long>> ids = {{0, 1, 2, 1, 0}};
+  for (Method m : kAllGsMethods) {
+    for (std::uint64_t seed : {1ull, 5ull, 9ull}) {
+      check_gs_under_chaos(ids, m, seed);
+    }
+  }
+}
+
+TEST(GsChaos, EmptySharedSetUnderChaos) {
+  // Disjoint id ranges: the nonlocal exchange has nothing to move.
+  std::vector<std::vector<long long>> ids = {
+      {0, 1, 2}, {10, 11, 12}, {20, 21, 22}, {30, 31, 32}};
+  for (Method m : kAllGsMethods) {
+    for (std::uint64_t seed : {1ull, 5ull, 9ull}) {
+      check_gs_under_chaos(ids, m, seed);
+    }
+  }
+}
+
+TEST(GsChaos, AllIdsSharedByEveryRankUnderChaos) {
+  // Every rank holds every id: maximal sharing, every pair exchanges.
+  std::vector<std::vector<long long>> ids(4, {0, 1, 2, 3, 4, 5});
+  for (Method m : kAllGsMethods) {
+    for (std::uint64_t seed : {1ull, 5ull, 9ull}) {
+      check_gs_under_chaos(ids, m, seed);
+    }
+  }
+}
+
+TEST(GsChaos, MeshPartitionUnderChaos) {
+  // The realistic workload (mesh-derived ids) under a couple of seeds.
+  auto ids = mesh_ids(small_spec(2, 2, 1));
+  for (Method m : kAllGsMethods) {
+    check_gs_under_chaos(ids, m, 3);
+  }
+}
 
 }  // namespace

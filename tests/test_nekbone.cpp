@@ -221,7 +221,11 @@ TEST(Nekbone, DotCountsSharedPointsOnce) {
     cmtbone::comm::run(p, [&](Comm& world) {
       Nekbone nb(world, cfg);
       std::vector<double> ones(nb.points(), 1.0);
-      counts.push_back(nb.dot(ones, ones));
+      double count = nb.dot(ones, ones);
+      // dot is a collective: every rank holds the same value, so only rank
+      // 0 records it (rank threads run concurrently; a shared push_back
+      // from every rank is a data race).
+      if (world.rank() == 0) counts.push_back(count);
     });
   }
   // 2x2x2 elements of 4^3 points, periodic: (2*3)^3 distinct points.
@@ -254,7 +258,8 @@ TEST(Nekbone, GsMethodDoesNotChangeTheSolve) {
       std::vector<double> b(nb.points()), x(nb.points(), 0.0);
       nb.assemble_rhs(forcing, std::span<double>(b));
       nb.solve_cg(std::span<double>(x), b, 100, 1e-10);
-      norms.push_back(std::sqrt(nb.dot(x, x)));
+      double norm = std::sqrt(nb.dot(x, x));
+      if (world.rank() == 0) norms.push_back(norm);
     });
   }
   EXPECT_NEAR(norms[1], norms[0], 1e-8 * std::max(norms[0], 1.0));

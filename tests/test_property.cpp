@@ -9,6 +9,7 @@
 #include <tuple>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "comm/runtime.hpp"
 #include "gs/crystal.hpp"
 #include "gs/gather_scatter.hpp"
@@ -247,10 +248,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PartitionFuzz, ::testing::Range(0, 12));
 
 class FaceExchangeFuzz : public ::testing::TestWithParam<int> {};
 
-TEST_P(FaceExchangeFuzz, RandomSpecsExchangeConsistently) {
-  // Random box + processor grids: every received face value must encode the
-  // geometric neighbor's (element, opposite face, a, b).
-  SplitMix64 rng(15000 + GetParam());
+cmtbone::mesh::BoxSpec random_face_spec(int param) {
+  SplitMix64 rng(15000 + param);
   cmtbone::mesh::BoxSpec spec;
   spec.n = 2 + int(rng.below(3));
   spec.px = 1 + int(rng.below(3));
@@ -261,7 +260,13 @@ TEST_P(FaceExchangeFuzz, RandomSpecsExchangeConsistently) {
   spec.ez = spec.pz * (1 + int(rng.below(3)));
   spec.periodic = rng.below(2) == 0;
   spec.validate();
+  return spec;
+}
 
+void check_face_exchange(const cmtbone::mesh::BoxSpec& spec,
+                         const cmtbone::comm::RunOptions& options) {
+  // Every received face value must encode the geometric neighbor's
+  // (element, opposite face, a, b).
   auto marker = [](int gx, int gy, int gz, int face, int a, int b) {
     return gx * 1.0e6 + gy * 1.0e4 + gz * 1.0e2 + face * 10.0 + a + 0.01 * b;
   };
@@ -320,7 +325,24 @@ TEST_P(FaceExchangeFuzz, RandomSpecsExchangeConsistently) {
         }
       }
     }
-  });
+  }, options);
+}
+
+TEST_P(FaceExchangeFuzz, RandomSpecsExchangeConsistently) {
+  check_face_exchange(random_face_spec(GetParam()), {});
+}
+
+TEST_P(FaceExchangeFuzz, RandomSpecsExchangeConsistentlyUnderChaos) {
+  // Same property while a seeded ChaosEngine delays, holds, and reorders
+  // the DG halo messages: the nearest-neighbor isend/irecv/waitall pattern
+  // must be schedule-independent.
+  cmtbone::mesh::BoxSpec spec = random_face_spec(GetParam());
+  cmtbone::chaos::ChaosEngine engine(
+      cmtbone::chaos::ChaosPolicy::for_seed(100 + GetParam(), spec.nranks()),
+      spec.nranks());
+  cmtbone::comm::RunOptions options;
+  options.chaos = &engine;
+  check_face_exchange(spec, options);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaceExchangeFuzz, ::testing::Range(0, 10));
@@ -372,5 +394,60 @@ TEST(CommStress, LargeMessageSurvivesRoundTrip) {
     }
   });
 }
+
+// --- randomized gs under chaos perturbation ----------------------------------
+
+class GsChaosFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GsChaosFuzz, RandomIdSetsMatchOracleUnderChaosForAllMethods) {
+  // The GsFuzz property, re-run while a seeded ChaosEngine injects delays,
+  // message holds, and a straggler rank: perturbing the schedule must not
+  // change any gs_op result for any of the three exchange algorithms.
+  SplitMix64 rng(7000 + GetParam());
+  const int p = 2 + int(rng.below(6));          // 2..7 ranks
+  const int universe = 5 + int(rng.below(30));
+  const std::uint64_t chaos_seed = 1 + (rng.next() & 0xffff);
+
+  std::vector<std::vector<long long>> ids(p);
+  std::vector<std::vector<double>> vals(p);
+  for (int r = 0; r < p; ++r) {
+    const int slots = 1 + int(rng.below(20));
+    for (int s = 0; s < slots; ++s) {
+      ids[r].push_back(static_cast<long long>(rng.below(universe)));
+      vals[r].push_back(rng.uniform(-5.0, 5.0));
+    }
+  }
+  std::map<long long, double> oracle;
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t s = 0; s < ids[r].size(); ++s) {
+      auto [it, fresh] = oracle.try_emplace(ids[r][s], vals[r][s]);
+      if (!fresh) it->second += vals[r][s];
+    }
+  }
+
+  for (Method m : {Method::kPairwise, Method::kCrystalRouter,
+                   Method::kAllReduce}) {
+    cmtbone::chaos::ChaosEngine engine(
+        cmtbone::chaos::ChaosPolicy::for_seed(chaos_seed, p), p);
+    cmtbone::comm::RunOptions options;
+    options.chaos = &engine;
+    cmtbone::comm::run(
+        p,
+        [&](Comm& world) {
+          GatherScatter gs(world, ids[world.rank()], m);
+          std::vector<double> v = vals[world.rank()];
+          gs.exec(std::span<double>(v), ReduceOp::kSum);
+          for (std::size_t s = 0; s < v.size(); ++s) {
+            ASSERT_NEAR(v[s], oracle.at(ids[world.rank()][s]), 1e-11)
+                << "method=" << cmtbone::gs::method_name(m)
+                << " rank=" << world.rank() << " slot=" << s
+                << " chaos_seed=" << chaos_seed;
+          }
+        },
+        options);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GsChaosFuzz, ::testing::Range(0, 8));
 
 }  // namespace
