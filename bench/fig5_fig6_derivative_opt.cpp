@@ -10,12 +10,17 @@
 //
 // Usage: fig5_fig6_derivative_opt [--nel 200] [--steps 100] [--n 10]
 //        (--nel 1563 --steps 1000 for the paper's exact workload)
+//        [--json FILE] instead sweeps N=5..25 comparing the fixed-N mxm
+//        microkernel dispatch against the runtime-N mxm on the derivative
+//        contraction shapes and writes the timings as JSON.
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "kernels/gradient.hpp"
+#include "kernels/mxm.hpp"
 #include "prof/perf_counters.hpp"
 #include "prof/timer.hpp"
 #include "sem/operators.hpp"
@@ -65,6 +70,91 @@ Measurement measure(cmtbone::kernels::GradVariant v, int dir, const double* d,
   return m;
 }
 
+// --- fixed-N vs runtime-N mxm sweep (--json) --------------------------------
+//
+// Times the two contraction shapes the derivative kernels route through mxm
+// (dudr: (N x N)(N x N^2); dudt: (N^2 x N)(N x N)) over a batch of elements,
+// once through the runtime-N mxm and once through the fixed-N dispatch
+// table. Best-of-k timing; element batch scaled so every N does comparable
+// work.
+int run_mxm_json_sweep(const std::string& path) {
+  using namespace cmtbone;
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"fig5_fig6_derivative_opt --json\",\n"
+               "  \"compare\": \"kernels::mxm_fixed<N> dispatch vs runtime-N "
+               "kernels::mxm\",\n"
+               "  \"shapes\": \"per element: dudr (NxN * NxN^2) + dudt "
+               "(N^2xN * NxN)\",\n"
+               "  \"timing\": \"best of 7 samples, 20 sweeps per sample\",\n"
+               "  \"results\": [\n");
+
+  std::printf("=== fixed-N mxm dispatch vs runtime mxm (N sweep) ===\n");
+  bool first = true;
+  for (int n = 5; n <= 25; ++n) {
+    const int nel = std::max(4, 4000 / (n * n));
+    const std::size_t epts = std::size_t(n) * n * n;
+    util::SplitMix64 rng(7 * n + 1);
+    std::vector<double> d(std::size_t(n) * n), u(epts * nel), scratch(epts * nel);
+    for (double& x : d) x = rng.uniform(-1, 1);
+    for (double& x : u) x = rng.uniform(-1, 1);
+
+    kernels::MxmFixedFn fixed = kernels::mxm_fixed_kernel(n);
+    auto run_runtime = [&] {
+      for (int e = 0; e < nel; ++e) {
+        kernels::mxm(d.data(), n, u.data() + e * epts, n,
+                     scratch.data() + e * epts, n * n);
+        kernels::mxm(u.data() + e * epts, n * n, d.data(), n,
+                     scratch.data() + e * epts, n);
+      }
+    };
+    auto run_fixed = [&] {
+      for (int e = 0; e < nel; ++e) {
+        fixed(d.data(), n, u.data() + e * epts, scratch.data() + e * epts,
+              n * n);
+        fixed(u.data() + e * epts, n * n, d.data(),
+              scratch.data() + e * epts, n);
+      }
+    };
+    auto best_of = [&](const auto& body) {
+      body();  // warm up
+      double best = 1e300;
+      for (int s = 0; s < 7; ++s) {
+        prof::WallTimer t;
+        for (int r = 0; r < 20; ++r) body();
+        best = std::min(best, t.seconds() / 20.0);
+      }
+      return best;
+    };
+
+    const double runtime_s = best_of(run_runtime);
+    const double fixed_s = best_of(run_fixed);
+    // 2 flops per mul-add; two contractions of 2 N^4 per element.
+    const double gflop = 4.0 * n * n * n * n * nel / 1e9;
+    std::printf("  N=%2d nel=%4d runtime %8.3f us  fixed %8.3f us  "
+                "speedup %.2fx\n",
+                n, nel, runtime_s * 1e6, fixed_s * 1e6, runtime_s / fixed_s);
+    std::fprintf(out,
+                 "%s    {\"n\": %d, \"nel\": %d, "
+                 "\"runtime_mxm_seconds\": %.9e, "
+                 "\"fixed_mxm_seconds\": %.9e, "
+                 "\"runtime_gflops\": %.3f, \"fixed_gflops\": %.3f, "
+                 "\"speedup\": %.3f}",
+                 first ? "" : ",\n", n, nel, runtime_s, fixed_s,
+                 gflop / runtime_s, gflop / fixed_s, runtime_s / fixed_s);
+    first = false;
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::printf("(json written to %s)\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,12 +164,18 @@ int main(int argc, char** argv) {
   cli.describe("nel", "elements (default 200; paper used 1563)")
       .describe("steps", "kernel invocations (default 100; paper used 1000)")
       .describe("n", "GLL points per direction (default 10)")
-      .describe("csv-dir", "also write result tables as CSV here");
+      .describe("csv-dir", "also write result tables as CSV here")
+      .describe("json",
+                "sweep N=5..25 fixed-N vs runtime mxm and write JSON here");
   if (cli.help_requested()) {
     std::printf("%s", cli.usage().c_str());
     return 0;
   }
   cli.reject_unknown();
+
+  if (cli.has("json")) {
+    return run_mxm_json_sweep(cli.get("json", "BENCH_kernels.json"));
+  }
 
   const int nel = cli.get_int("nel", 200);
   const int steps = cli.get_int("steps", 100);

@@ -150,6 +150,33 @@ Request Comm::isend_bytes(const void* buf, std::size_t bytes, int dest, int tag)
   return Request(std::move(rs));
 }
 
+Request Comm::isend_payload(std::vector<std::byte>&& payload, int dest,
+                            int tag) {
+  assert(tag >= 0 && tag < kCollectiveTagBase);
+  prof::WallTimer t;
+  const long long bytes = (long long)payload.size();
+  // Mirror send_raw (abort check + chaos hook before the mailbox), but move
+  // the caller's buffer into the envelope instead of copying it — the
+  // payload crosses the runtime untouched until the receiver unpacks it.
+  uni_->check_abort();
+  if (chaos::ChaosEngine* eng = uni_->chaos()) {
+    eng->on_rank_op(group_[rank_], chaos::Hook::kSend);
+  }
+  assert(dest >= 0 && dest < size());
+  Envelope env;
+  env.ctx = ctx_;
+  env.src = group_[rank_];
+  env.tag = tag;
+  env.payload = std::move(payload);
+  uni_->mailbox(group_[dest]).deliver(std::move(env));
+  record("MPI_Isend", t.seconds(), bytes, group_[dest], tag);
+  auto rs = std::make_shared<RequestState>();
+  rs->done = true;
+  rs->is_recv = false;
+  rs->home = &my_box();
+  return Request(std::move(rs));
+}
+
 Request Comm::irecv_bytes(void* buf, std::size_t capacity, int src, int tag) {
   prof::WallTimer t;
   Request req = post_recv_raw(buf, capacity, src, tag);

@@ -63,6 +63,10 @@ class Comm {
   /// deadlocks on unposted receives (eager semantics).
   void send_bytes(const void* buf, std::size_t bytes, int dest, int tag);
   Request isend_bytes(const void* buf, std::size_t bytes, int dest, int tag);
+  /// Zero-copy isend for large payloads: the vector becomes the in-flight
+  /// message without the buffered-send copy (the caller packs directly into
+  /// it and hands it over). Same eager completion semantics as isend_bytes.
+  Request isend_payload(std::vector<std::byte>&& payload, int dest, int tag);
   Request irecv_bytes(void* buf, std::size_t capacity, int src, int tag);
   Status recv_bytes(void* buf, std::size_t capacity, int src, int tag);
 

@@ -73,6 +73,14 @@ struct Config {
   /// When set, `variant` is ignored for the volume term.
   bool fused_divergence = false;
 
+  /// Overlap the nearest-neighbor surface exchange with element compute:
+  /// the exchange is split into begin/finish halves and the rank's interior
+  /// elements (no face paired with a remote rank) are advanced while the
+  /// halo messages fly; boundary elements finish after the wait. The
+  /// floating-point operation order per point is unchanged, so results are
+  /// bit-identical to the blocking path.
+  bool overlap = false;
+
   /// Apply direct-stiffness averaging (gs_op over shared GLL points, then
   /// divide by multiplicity) after each step — the gs_op_ kernel of Fig. 4.
   bool use_dssum = true;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 
 #include "core/flux.hpp"
@@ -13,6 +14,7 @@
 #include "mesh/face_numbering.hpp"
 #include "mesh/numbering.hpp"
 #include "prof/callprof.hpp"
+#include "prof/timer.hpp"
 
 namespace cmtbone::core {
 
@@ -109,6 +111,10 @@ Driver::Driver(comm::Comm& comm, const Config& config)
   const int nel = part_.nel();
   pts_ = std::size_t(n) * n * n * nel;
   const int nf = nfields();
+
+  classes_ = mesh::classify_interior_boundary(part_);
+  all_elems_.resize(nel);
+  std::iota(all_elems_.begin(), all_elems_.end(), 0);
 
   auto alloc_fields = [&](std::vector<std::vector<double>>& v) {
     v.assign(nf, std::vector<double>(pts_, 0.0));
@@ -250,171 +256,309 @@ double Driver::compute_dt() {
 void Driver::compute_rhs(const std::vector<std::vector<double>>& u,
                          std::vector<std::vector<double>>& rhs) {
   prof::ScopedRegion region("compute_rhs");
-  const int n = config_.n;
-  const int nel = part_.nel();
-  const int nf = nfields();
-  const double gamma = config_.gamma;
-
-  for (int f = 0; f < nf; ++f) {
+  for (int f = 0; f < nfields(); ++f) {
     std::fill(rhs[f].begin(), rhs[f].end(), 0.0);
   }
+  if (config_.overlap) {
+    compute_rhs_overlap(u, rhs);
+  } else {
+    compute_rhs_blocking(u, rhs);
+  }
+}
 
-  // --- volume term: flux divergence via the derivative kernels -----------
-  if (config_.fused_divergence) {
-    prof::ScopedRegion ax_region("ax_ (flux divergence)");
-    // Fused path: evaluate the three axis fluxes of one field, then a
-    // single div3 sweep accumulates the scaled divergence. (For Euler this
-    // re-derives the flux per field — the option trades that pointwise
-    // redundancy for one output sweep instead of three.)
-    for (int f = 0; f < nf; ++f) {
+void Driver::compute_rhs_blocking(const std::vector<std::vector<double>>& u,
+                                  std::vector<std::vector<double>>& rhs) {
+  volume_term(u, rhs, all_elems_);
+  dealias_term(u);
+  particle_source(rhs);
+  pack_faces(u);
+  exchange_faces();
+  surface_term(rhs, all_elems_);
+}
+
+void Driver::compute_rhs_overlap(const std::vector<std::vector<double>>& u,
+                                 std::vector<std::vector<double>>& rhs) {
+  const int nf = nfields();
+  // Extract the halo and launch the exchange before any volume work:
+  // full2face reads only `u` and the exchange touches only myfaces_ /
+  // nbrfaces_, so hoisting them ahead of the volume term changes no
+  // floating-point operation.
+  pack_faces(u);
+
+  if (config_.face_backend == FaceBackend::kDirect) {
+    {
+      prof::ScopedRegion r("exchange_begin");
+      prof::WallTimer t;
+      exchange_->begin(myfaces_.data(), nbrfaces_.data(), nf);
+      overlap_stats_.begin_seconds += t.seconds();
+    }
+    {
+      prof::ScopedRegion r("overlap_window");
+      prof::WallTimer t;
+      // Same global phase order as the blocking path — volume, dealias,
+      // particle source, surface — and within each phase the same per-point
+      // operation sequence, so the result bits match exactly.
+      volume_term(u, rhs, classes_.interior);
+      volume_term(u, rhs, classes_.boundary);
+      dealias_term(u);
+      particle_source(rhs);
+      // Every face of an interior element is locally paired, and begin()
+      // performed all local copies — so the interior surface term runs
+      // while the halo messages are still in flight.
+      surface_term(rhs, classes_.interior);
+      overlap_stats_.compute_seconds += t.seconds();
+    }
+    {
+      prof::ScopedRegion r("exchange_finish");
+      prof::WallTimer t;
+      exchange_->finish();
+      overlap_stats_.finish_seconds += t.seconds();
+    }
+    surface_term(rhs, classes_.boundary);
+  } else {
+    // gs backend: locally-paired face values also travel through the gs sum
+    // and are only correct after finish(), so no surface work fits in the
+    // window — it covers the volume, dealias and particle phases instead.
+    std::copy(myfaces_.begin(), myfaces_.end(), nbrfaces_.begin());
+    {
+      prof::ScopedRegion r("exchange_begin");
+      prof::WallTimer t;
+      face_gs_->exec_many_begin(std::span<double>(nbrfaces_), nf,
+                                gs::ReduceOp::kSum);
+      overlap_stats_.begin_seconds += t.seconds();
+    }
+    {
+      prof::ScopedRegion r("overlap_window");
+      prof::WallTimer t;
+      volume_term(u, rhs, all_elems_);
+      dealias_term(u);
+      particle_source(rhs);
+      overlap_stats_.compute_seconds += t.seconds();
+    }
+    {
+      prof::ScopedRegion r("exchange_finish");
+      prof::WallTimer t;
+      face_gs_->exec_many_finish();
+      overlap_stats_.finish_seconds += t.seconds();
+    }
+    gs_faces_subtract();
+    surface_term(rhs, all_elems_);
+  }
+  ++overlap_stats_.windows;
+}
+
+void Driver::volume_term(const std::vector<std::vector<double>>& u,
+                         std::vector<std::vector<double>>& rhs,
+                         std::span<const int> elems) {
+  if (elems.empty()) return;
+  prof::ScopedRegion ax_region("ax_ (flux divergence)");
+  const int n = config_.n;
+  const int nf = nfields();
+  const double gamma = config_.gamma;
+  const std::size_t epts = std::size_t(n) * n * n;
+
+  // Process maximal runs of consecutive elements so the full list (the
+  // blocking path) keeps its single bulk kernel call per direction and the
+  // interior/boundary lists batch their x-rows. Per-element results do not
+  // depend on the batching — the kernels treat elements independently.
+  std::size_t i = 0;
+  while (i < elems.size()) {
+    std::size_t j = i + 1;
+    while (j < elems.size() && elems[j] == elems[j - 1] + 1) ++j;
+    const int e0 = elems[i];
+    const int m = int(j - i);
+    const std::size_t base = std::size_t(e0) * epts;
+    const std::size_t cnt = std::size_t(m) * epts;
+    i = j;
+
+    if (config_.fused_divergence) {
+      // Fused path: evaluate the three axis fluxes of one field, then a
+      // single div3 sweep accumulates the scaled divergence. (For Euler
+      // this re-derives the flux per field — the option trades that
+      // pointwise redundancy for one output sweep instead of three.)
+      for (int f = 0; f < nf; ++f) {
+        for (int axis = 0; axis < 3; ++axis) {
+          std::vector<double>& dst = flux_fused_[axis];
+          if (config_.physics == Physics::kEuler) {
+            for (std::size_t p = base; p < base + cnt; ++p) {
+              State5 s{u[0][p], u[1][p], u[2][p], u[3][p], u[4][p]};
+              State5 fl = euler_flux(s, axis, gamma);
+              const double v[5] = {fl.rho, fl.mx, fl.my, fl.mz, fl.e};
+              dst[p] = v[f];
+            }
+          } else {
+            const double c = config_.velocity[axis];
+            for (std::size_t p = base; p < base + cnt; ++p) {
+              dst[p] = c * u[f][p];
+            }
+          }
+        }
+        kernels::div3(ops_.d.data(), flux_fused_[0].data() + base,
+                      flux_fused_[1].data() + base,
+                      flux_fused_[2].data() + base,
+                      grad_scratch_.data() + base, n, m, 2.0 / h_[0],
+                      2.0 / h_[1], 2.0 / h_[2]);
+        for (std::size_t p = base; p < base + cnt; ++p) {
+          rhs[f][p] -= grad_scratch_[p];
+        }
+      }
+    } else {
       for (int axis = 0; axis < 3; ++axis) {
-        std::vector<double>& dst = flux_fused_[axis];
+        // Pointwise axis flux of every field.
         if (config_.physics == Physics::kEuler) {
-          for (std::size_t p = 0; p < pts_; ++p) {
+          for (std::size_t p = base; p < base + cnt; ++p) {
             State5 s{u[0][p], u[1][p], u[2][p], u[3][p], u[4][p]};
             State5 fl = euler_flux(s, axis, gamma);
-            const double v[5] = {fl.rho, fl.mx, fl.my, fl.mz, fl.e};
-            dst[p] = v[f];
+            flux_[0][p] = fl.rho;
+            flux_[1][p] = fl.mx;
+            flux_[2][p] = fl.my;
+            flux_[3][p] = fl.mz;
+            flux_[4][p] = fl.e;
           }
         } else {
           const double c = config_.velocity[axis];
-          for (std::size_t p = 0; p < pts_; ++p) dst[p] = c * u[f][p];
+          for (int f = 0; f < nf; ++f) {
+            for (std::size_t p = base; p < base + cnt; ++p) {
+              flux_[f][p] = c * u[f][p];
+            }
+          }
         }
-      }
-      kernels::div3(ops_.d.data(), flux_fused_[0].data(),
-                    flux_fused_[1].data(), flux_fused_[2].data(),
-                    grad_scratch_.data(), n, nel, 2.0 / h_[0], 2.0 / h_[1],
-                    2.0 / h_[2]);
-      for (std::size_t p = 0; p < pts_; ++p) rhs[f][p] -= grad_scratch_[p];
-    }
-  } else {
-    prof::ScopedRegion ax_region("ax_ (flux divergence)");
-    for (int axis = 0; axis < 3; ++axis) {
-      // Pointwise axis flux of every field.
-      if (config_.physics == Physics::kEuler) {
-        for (std::size_t p = 0; p < pts_; ++p) {
-          State5 s{u[0][p], u[1][p], u[2][p], u[3][p], u[4][p]};
-          State5 fl = euler_flux(s, axis, gamma);
-          flux_[0][p] = fl.rho;
-          flux_[1][p] = fl.mx;
-          flux_[2][p] = fl.my;
-          flux_[3][p] = fl.mz;
-          flux_[4][p] = fl.e;
-        }
-      } else {
-        const double c = config_.velocity[axis];
+        // d(flux)/d(axis) with the selected loop-transformation variant.
+        const double scale = 2.0 / h_[axis];
         for (int f = 0; f < nf; ++f) {
-          for (std::size_t p = 0; p < pts_; ++p) flux_[f][p] = c * u[f][p];
+          switch (axis) {
+            case 0:
+              kernels::grad_r(config_.variant, ops_.d.data(),
+                              flux_[f].data() + base,
+                              grad_scratch_.data() + base, n, m);
+              break;
+            case 1:
+              kernels::grad_s(config_.variant, ops_.d.data(),
+                              flux_[f].data() + base,
+                              grad_scratch_.data() + base, n, m);
+              break;
+            default:
+              kernels::grad_t(config_.variant, ops_.d.data(),
+                              flux_[f].data() + base,
+                              grad_scratch_.data() + base, n, m);
+          }
+          for (std::size_t p = base; p < base + cnt; ++p) {
+            rhs[f][p] -= scale * grad_scratch_[p];
+          }
         }
       }
-      // d(flux)/d(axis) with the selected loop-transformation variant.
-      const double scale = 2.0 / h_[axis];
-      for (int f = 0; f < nf; ++f) {
-        switch (axis) {
-          case 0:
-            kernels::grad_r(config_.variant, ops_.d.data(), flux_[f].data(),
-                            grad_scratch_.data(), n, nel);
-            break;
-          case 1:
-            kernels::grad_s(config_.variant, ops_.d.data(), flux_[f].data(),
-                            grad_scratch_.data(), n, nel);
-            break;
-          default:
-            kernels::grad_t(config_.variant, ops_.d.data(), flux_[f].data(),
-                            grad_scratch_.data(), n, nel);
-        }
-        for (std::size_t p = 0; p < pts_; ++p) {
-          rhs[f][p] -= scale * grad_scratch_[p];
-        }
-      }
     }
   }
+}
 
-  // --- optional dealias round-trip (finer mesh and back, §V) -------------
-  if (config_.dealias) {
-    prof::ScopedRegion dl_region("dealias (intp_rstd)");
-    const std::size_t elem = std::size_t(n) * n * n;
-    const int last = nf - 1;  // energy field
-    for (int e = 0; e < nel; ++e) {
-      kernels::dealias_roundtrip(ops_.interp.data(), ops_.interp_t.data(),
-                                 ops_.m, n, u[last].data() + e * elem,
-                                 dealias_fine_.data(), dealias_back_.data(),
-                                 dealias_work_.data());
-      dealias_checksum_ += dealias_back_[0];
-    }
+void Driver::dealias_term(const std::vector<std::vector<double>>& u) {
+  // Always whole-rank in ascending element order: the checksum accumulates
+  // across elements, so its order must not depend on the overlap split.
+  if (!config_.dealias) return;
+  prof::ScopedRegion dl_region("dealias (intp_rstd)");
+  const int n = config_.n;
+  const std::size_t elem = std::size_t(n) * n * n;
+  const int last = nfields() - 1;  // energy field
+  for (int e = 0; e < part_.nel(); ++e) {
+    kernels::dealias_roundtrip(ops_.interp.data(), ops_.interp_t.data(),
+                               ops_.m, n, u[last].data() + e * elem,
+                               dealias_fine_.data(), dealias_back_.data(),
+                               dealias_work_.data());
+    dealias_checksum_ += dealias_back_[0];
   }
+}
 
-  // --- multiphase source term (paper Eq. 1's R) ---------------------------
-  if (tracker_ && config_.particle_coupling != 0.0) {
-    prof::ScopedRegion src_region("particle_source");
-    // Deposit onto the x-momentum equation (drag-like forcing); for the
-    // single-field advection mode the scalar itself receives the source.
-    const int target = nf >= 2 ? 1 : 0;
-    tracker_->deposit_all(rhs[target].data(), config_.particle_coupling);
+void Driver::particle_source(std::vector<std::vector<double>>& rhs) {
+  // Multiphase source term (paper Eq. 1's R).
+  if (!tracker_ || config_.particle_coupling == 0.0) return;
+  prof::ScopedRegion src_region("particle_source");
+  // Deposit onto the x-momentum equation (drag-like forcing); for the
+  // single-field advection mode the scalar itself receives the source.
+  const int target = nfields() >= 2 ? 1 : 0;
+  tracker_->deposit_all(rhs[target].data(), config_.particle_coupling);
+}
+
+void Driver::pack_faces(const std::vector<std::vector<double>>& u) {
+  prof::ScopedRegion f2f_region("full2face_cmt");
+  const int n = config_.n;
+  const int nel = part_.nel();
+  const std::size_t fsz = mesh::face_array_size(n, nel);
+  for (int f = 0; f < nfields(); ++f) {
+    mesh::full2face(u[f].data(), myfaces_.data() + f * fsz, n, nel);
   }
+}
 
-  // --- surface term --------------------------------------------------------
-  {
-    prof::ScopedRegion f2f_region("full2face_cmt");
-    const std::size_t fsz = mesh::face_array_size(n, nel);
-    for (int f = 0; f < nf; ++f) {
-      mesh::full2face(u[f].data(), myfaces_.data() + f * fsz, n, nel);
-    }
-  }
-  exchange_faces();
-  {
-    prof::ScopedRegion nfx_region("numerical_flux");
-    const std::size_t fsz = mesh::face_array_size(n, nel);
-    const std::vector<double>& w = ops_.rule.weights;
-    const double w_edge = w[0];  // == w[n-1]
-    const std::size_t elem = std::size_t(n) * n * n;
+void Driver::surface_term(std::vector<std::vector<double>>& rhs,
+                          std::span<const int> elems) {
+  if (elems.empty()) return;
+  prof::ScopedRegion nfx_region("numerical_flux");
+  const int n = config_.n;
+  const int nf = nfields();
+  const double gamma = config_.gamma;
+  const std::size_t fsz = mesh::face_array_size(n, part_.nel());
+  const std::vector<double>& w = ops_.rule.weights;
+  const double w_edge = w[0];  // == w[n-1]
+  const std::size_t elem = std::size_t(n) * n * n;
 
-    for (int e = 0; e < nel; ++e) {
-      for (int face = 0; face < mesh::kFacesPerElement; ++face) {
-        const int axis = mesh::face_axis(face);
-        const double sign = mesh::face_side(face) == 0 ? -1.0 : 1.0;
-        const double lift = 2.0 / h_[axis] / w_edge;
-        for (int b = 0; b < n; ++b) {
-          for (int a = 0; a < n; ++a) {
-            const std::size_t foff =
-                mesh::face_offset(face, e, n) + a + std::size_t(n) * b;
-            const std::size_t voff =
-                e * elem + mesh::face_point_volume_index(face, a, b, n);
-            if (config_.physics == Physics::kEuler) {
-              State5 uin{myfaces_[foff], myfaces_[fsz + foff],
-                         myfaces_[2 * fsz + foff], myfaces_[3 * fsz + foff],
-                         myfaces_[4 * fsz + foff]};
-              State5 uout{nbrfaces_[foff], nbrfaces_[fsz + foff],
-                          nbrfaces_[2 * fsz + foff], nbrfaces_[3 * fsz + foff],
-                          nbrfaces_[4 * fsz + foff]};
-              State5 fin = euler_flux(uin, axis, gamma);
-              State5 fout = euler_flux(uout, axis, gamma);
-              double lambda = std::max(euler_wavespeed(uin, axis, gamma),
-                                       euler_wavespeed(uout, axis, gamma));
-              const double in[5] = {uin.rho, uin.mx, uin.my, uin.mz, uin.e};
-              const double out[5] = {uout.rho, uout.mx, uout.my, uout.mz,
-                                     uout.e};
-              const double fi[5] = {fin.rho, fin.mx, fin.my, fin.mz, fin.e};
-              const double fo[5] = {fout.rho, fout.mx, fout.my, fout.mz,
-                                    fout.e};
-              for (int f = 0; f < 5; ++f) {
-                double fstar =
-                    rusanov(fi[f], fo[f], in[f], out[f], lambda, sign);
-                rhs[f][voff] -= lift * sign * (fstar - fi[f]);
-              }
-            } else {
-              const double c = config_.velocity[axis];
-              const double lambda = std::abs(c);
-              for (int f = 0; f < nf; ++f) {
-                double uin = myfaces_[f * fsz + foff];
-                double uout = nbrfaces_[f * fsz + foff];
-                double fstar = rusanov(c * uin, c * uout, uin, uout, lambda, sign);
-                rhs[f][voff] -= lift * sign * (fstar - c * uin);
-              }
+  for (int e : elems) {
+    for (int face = 0; face < mesh::kFacesPerElement; ++face) {
+      const int axis = mesh::face_axis(face);
+      const double sign = mesh::face_side(face) == 0 ? -1.0 : 1.0;
+      const double lift = 2.0 / h_[axis] / w_edge;
+      for (int b = 0; b < n; ++b) {
+        for (int a = 0; a < n; ++a) {
+          const std::size_t foff =
+              mesh::face_offset(face, e, n) + a + std::size_t(n) * b;
+          const std::size_t voff =
+              e * elem + mesh::face_point_volume_index(face, a, b, n);
+          if (config_.physics == Physics::kEuler) {
+            State5 uin{myfaces_[foff], myfaces_[fsz + foff],
+                       myfaces_[2 * fsz + foff], myfaces_[3 * fsz + foff],
+                       myfaces_[4 * fsz + foff]};
+            State5 uout{nbrfaces_[foff], nbrfaces_[fsz + foff],
+                        nbrfaces_[2 * fsz + foff], nbrfaces_[3 * fsz + foff],
+                        nbrfaces_[4 * fsz + foff]};
+            State5 fin = euler_flux(uin, axis, gamma);
+            State5 fout = euler_flux(uout, axis, gamma);
+            double lambda = std::max(euler_wavespeed(uin, axis, gamma),
+                                     euler_wavespeed(uout, axis, gamma));
+            const double in[5] = {uin.rho, uin.mx, uin.my, uin.mz, uin.e};
+            const double out[5] = {uout.rho, uout.mx, uout.my, uout.mz,
+                                   uout.e};
+            const double fi[5] = {fin.rho, fin.mx, fin.my, fin.mz, fin.e};
+            const double fo[5] = {fout.rho, fout.mx, fout.my, fout.mz,
+                                  fout.e};
+            for (int f = 0; f < 5; ++f) {
+              double fstar =
+                  rusanov(fi[f], fo[f], in[f], out[f], lambda, sign);
+              rhs[f][voff] -= lift * sign * (fstar - fi[f]);
+            }
+          } else {
+            const double c = config_.velocity[axis];
+            const double lambda = std::abs(c);
+            for (int f = 0; f < nf; ++f) {
+              double uin = myfaces_[f * fsz + foff];
+              double uout = nbrfaces_[f * fsz + foff];
+              double fstar = rusanov(c * uin, c * uout, uin, uout, lambda, sign);
+              rhs[f][voff] -= lift * sign * (fstar - c * uin);
             }
           }
         }
       }
+    }
+  }
+}
+
+void Driver::gs_faces_subtract() {
+  // Each interior face point has exactly two copies, so the gs_op(add)
+  // yielded mine+neighbor; subtracting my value leaves the neighbor's.
+  // Physical-boundary points (single copy) mirror mine.
+  const std::size_t fsz = mesh::face_array_size(config_.n, part_.nel());
+  for (int f = 0; f < nfields(); ++f) {
+    double* nbr = nbrfaces_.data() + f * fsz;
+    const double* mine = myfaces_.data() + f * fsz;
+    for (std::size_t s = 0; s < fsz; ++s) {
+      nbr[s] = face_interior_[s] ? nbr[s] - mine[s] : mine[s];
     }
   }
 }
@@ -426,19 +570,9 @@ void Driver::exchange_faces() {
     exchange_->exchange(myfaces_.data(), nbrfaces_.data(), nf);
     return;
   }
-  // gs backend: each interior face point has exactly two copies, so one
-  // gs_op(add) yields mine+neighbor everywhere; subtracting my value leaves
-  // the neighbor's. Physical-boundary points (single copy) mirror mine.
-  const std::size_t fsz = mesh::face_array_size(config_.n, part_.nel());
   std::copy(myfaces_.begin(), myfaces_.end(), nbrfaces_.begin());
   face_gs_->exec_many(std::span<double>(nbrfaces_), nf, gs::ReduceOp::kSum);
-  for (int f = 0; f < nf; ++f) {
-    double* nbr = nbrfaces_.data() + f * fsz;
-    const double* mine = myfaces_.data() + f * fsz;
-    for (std::size_t s = 0; s < fsz; ++s) {
-      nbr[s] = face_interior_[s] ? nbr[s] - mine[s] : mine[s];
-    }
-  }
+  gs_faces_subtract();
 }
 
 void Driver::apply_dssum() {

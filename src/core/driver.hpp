@@ -26,6 +26,7 @@
 #include "mesh/face_exchange.hpp"
 #include "mesh/partition.hpp"
 #include "particles/tracker.hpp"
+#include "prof/overlap.hpp"
 #include "sem/operators.hpp"
 
 namespace cmtbone::core {
@@ -76,6 +77,13 @@ class Driver {
   /// Null unless config.particles_per_rank > 0.
   particles::Tracker* tracker() { return tracker_.get(); }
 
+  /// Interior/boundary element split used by the overlap path.
+  const mesh::ElementClasses& element_classes() const { return classes_; }
+
+  /// Accumulated split-phase exchange timing (empty unless config.overlap).
+  const prof::OverlapStats& overlap_stats() const { return overlap_stats_; }
+  void reset_overlap_stats() { overlap_stats_.reset(); }
+
   /// Payload bytes this rank sends per RHS evaluation (face exchange only).
   long long face_bytes_per_rhs() const {
     return exchange_->send_bytes_per_exchange(nfields());
@@ -101,7 +109,25 @@ class Driver {
  private:
   void compute_rhs(const std::vector<std::vector<double>>& u,
                    std::vector<std::vector<double>>& rhs);
+  void compute_rhs_blocking(const std::vector<std::vector<double>>& u,
+                            std::vector<std::vector<double>>& rhs);
+  void compute_rhs_overlap(const std::vector<std::vector<double>>& u,
+                           std::vector<std::vector<double>>& rhs);
+  // RHS building blocks, each over an explicit element list so the overlap
+  // path can run them per interior/boundary class. The per-point
+  // floating-point operation sequence does not depend on how the element
+  // list is split (each point belongs to exactly one element), which is
+  // what keeps the overlap path bit-identical.
+  void volume_term(const std::vector<std::vector<double>>& u,
+                   std::vector<std::vector<double>>& rhs,
+                   std::span<const int> elems);
+  void surface_term(std::vector<std::vector<double>>& rhs,
+                    std::span<const int> elems);
+  void dealias_term(const std::vector<std::vector<double>>& u);
+  void particle_source(std::vector<std::vector<double>>& rhs);
+  void pack_faces(const std::vector<std::vector<double>>& u);
   void exchange_faces();  // myfaces_ -> nbrfaces_ via the selected backend
+  void gs_faces_subtract();  // gs backend: mine+neighbor -> neighbor
   void step_rk4(double dt);
   void apply_dssum();
   void step_particles(double dt);
@@ -112,6 +138,9 @@ class Driver {
   mesh::BoxSpec spec_;
   mesh::Partition part_;
   sem::Operators ops_;
+  mesh::ElementClasses classes_;
+  std::vector<int> all_elems_;  // 0..nel-1, the blocking path's element list
+  prof::OverlapStats overlap_stats_;
   std::unique_ptr<mesh::FaceExchange> exchange_;
   std::unique_ptr<gs::GatherScatter> gs_;
   std::vector<double> inv_multiplicity_;

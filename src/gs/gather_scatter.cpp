@@ -8,6 +8,10 @@
 
 namespace cmtbone::gs {
 
+namespace {
+constexpr int kPairwiseTag = 7;
+}  // namespace
+
 const char* method_name(Method m) {
   switch (m) {
     case Method::kPairwise: return "pairwise exchange";
@@ -78,6 +82,111 @@ void GatherScatter::exec_many_with(std::span<double> values, int nfields,
   exec_impl<double>(values, nfields, op, method);
 }
 
+void GatherScatter::exec_many_begin(std::span<double> values, int nfields,
+                                    ReduceOp op) {
+  comm::SiteScope site("gs_op");
+  split_.active = true;
+  split_.values = values;
+  split_.nfields = nfields;
+  split_.op = op;
+
+  const std::size_t slots = values.size() / nfields;
+  const std::size_t nf = std::size_t(nfields);
+
+  // Phase 1: local gather — identical code path to exec_impl, into the
+  // persistent buffer.
+  split_.unique.assign(topo_.unique_ids.size() * nf, identity<double>(op));
+  for (std::size_t s = 0; s < slots; ++s) {
+    double* u = split_.unique.data() + topo_.unique_of_slot[s] * nf;
+    for (std::size_t f = 0; f < nf; ++f) {
+      u[f] = comm::apply(op, u[f], values[f * slots + s]);
+    }
+  }
+
+  if (method_ == Method::kCrystalRouter || method_ == Method::kAllReduce) {
+    // These methods are built on unsplittable collectives: run the whole
+    // gs_op to completion now. The result is the same either way; only the
+    // overlap opportunity is lost.
+    if (method_ == Method::kCrystalRouter) {
+      exec_crystal(split_.unique, nfields, op);
+    } else {
+      exec_allreduce(split_.unique, nfields, op);
+    }
+    for (std::size_t s = 0; s < slots; ++s) {
+      const double* u = split_.unique.data() + topo_.unique_of_slot[s] * nf;
+      for (std::size_t f = 0; f < nf; ++f) values[f * slots + s] = u[f];
+    }
+    split_.done_in_begin = true;
+    return;
+  }
+  split_.done_in_begin = false;
+
+  // Phase 2a (pairwise): post all receives, pack and send. Mirrors
+  // exec_pairwise exactly, with the buffers persisting across steps.
+  comm::SiteScope psite("gs_op.pairwise");
+  split_.sendbuf.resize(pairwise_plan_.size());
+  split_.recvbuf.resize(pairwise_plan_.size());
+  split_.reqs.clear();
+  split_.reqs.reserve(pairwise_plan_.size());
+  std::size_t b = 0;
+  for (const auto& [neighbor, entries] : pairwise_plan_) {
+    std::vector<double>& rb = split_.recvbuf[b++];
+    rb.resize(entries.size() * nf);
+    split_.reqs.push_back(
+        comm_->irecv(std::span<double>(rb), neighbor, kPairwiseTag));
+  }
+  b = 0;
+  for (const auto& [neighbor, entries] : pairwise_plan_) {
+    std::vector<double>& sb = split_.sendbuf[b++];
+    sb.clear();
+    sb.reserve(entries.size() * nf);
+    for (int s : entries) {
+      const double* u =
+          split_.unique.data() + topo_.shared[s].unique_index * nf;
+      sb.insert(sb.end(), u, u + nf);
+    }
+    comm_->isend(std::span<const double>(sb), neighbor, kPairwiseTag);
+  }
+}
+
+void GatherScatter::exec_many_finish() {
+  if (!split_.active) return;
+  split_.active = false;
+  if (split_.done_in_begin) return;
+
+  comm::SiteScope site("gs_op");
+  const std::size_t nf = std::size_t(split_.nfields);
+  const std::size_t slots = split_.values.size() / split_.nfields;
+
+  {
+    // Phase 2b (pairwise): wait and accumulate in the same neighbor order
+    // as exec_pairwise, so the floating-point reduction order — and hence
+    // the result bits — match the blocking path.
+    comm::SiteScope psite("gs_op.pairwise");
+    comm_->waitall(split_.reqs);
+    std::size_t b = 0;
+    for (const auto& [neighbor, entries] : pairwise_plan_) {
+      const std::vector<double>& buf = split_.recvbuf[b++];
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        double* u =
+            split_.unique.data() + topo_.shared[entries[i]].unique_index * nf;
+        for (std::size_t f = 0; f < nf; ++f) {
+          u[f] = comm::apply(split_.op, u[f], buf[i * nf + f]);
+        }
+      }
+    }
+    split_.reqs.clear();
+  }
+
+  // Phase 3: local scatter.
+  for (std::size_t s = 0; s < slots; ++s) {
+    const double* u = split_.unique.data() + topo_.unique_of_slot[s] * nf;
+    for (std::size_t f = 0; f < nf; ++f) {
+      split_.values[f * slots + s] = u[f];
+    }
+  }
+}
+
 template <class T>
 void GatherScatter::exec_impl(std::span<T> values, int nfields, ReduceOp op,
                               Method method) {
@@ -119,7 +228,7 @@ template <class T>
 void GatherScatter::exec_pairwise(std::vector<T>& unique_values, int nfields,
                                   ReduceOp op) {
   comm::SiteScope site("gs_op.pairwise");
-  constexpr int kTag = 7;
+  constexpr int kTag = kPairwiseTag;
   const std::size_t nf = std::size_t(nfields);
 
   // Snapshot outgoing values before any accumulation: each pair must see

@@ -57,6 +57,21 @@ class GatherScatter {
   void exec_many_with(std::span<double> values, int nfields, ReduceOp op,
                       Method method);
 
+  /// Split-phase exec_many for compute–communication overlap. begin() runs
+  /// the local gather and, under the pairwise method, posts all receives and
+  /// sends the shared values, returning with the messages in flight;
+  /// finish() waits, accumulates the remote contributions (in the same
+  /// neighbor order as exec_many — results are bit-identical) and scatters
+  /// back into the span passed to begin(). The crystal-router and allreduce
+  /// methods use unsplittable collectives, so for them the whole gs_op
+  /// completes inside begin() and finish() only clears the in-flight flag.
+  /// The span must stay alive until finish(); one gs_op in flight at a time.
+  void exec_many_begin(std::span<double> values, int nfields, ReduceOp op);
+  void exec_many_finish();
+
+  /// True between exec_many_begin() and the matching exec_many_finish().
+  bool split_in_flight() const { return split_.active; }
+
   /// Typed gs_op, as gslib supports for its datatype set: T is one of
   /// double, float, int, long long. Same semantics as exec/exec_many.
   template <class T>
@@ -125,6 +140,20 @@ class GatherScatter {
   std::vector<int> owned_shared_entry_;       // topo_.shared index per owned id
   CrystalRouter router_;
 
+  // Split-phase state between exec_many_begin() and exec_many_finish().
+  // The gather/pack/unpack buffers persist across steps so a steady-state
+  // time step allocates nothing on this path.
+  struct SplitState {
+    bool active = false;
+    bool done_in_begin = false;  // non-pairwise methods finish inside begin()
+    std::span<double> values;
+    int nfields = 0;
+    ReduceOp op = ReduceOp::kSum;
+    std::vector<double> unique;
+    std::vector<std::vector<double>> sendbuf, recvbuf;  // one per neighbor
+    std::vector<comm::Request> reqs;
+  };
+  SplitState split_;
 };
 
 }  // namespace cmtbone::gs

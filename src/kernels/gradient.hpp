@@ -22,13 +22,24 @@
 //   kFusedUnrolled  both — the production CMT-bone / Nek5000 form
 //   kBlocked        cache-blocked over the fused index (our extension,
 //                   exercised by the ablation bench)
+//   kMxmFixed       each contraction expressed as an mxm routed through the
+//                   fixed-N microkernel dispatch (see kernels/mxm.hpp); the
+//                   s/t directions multiply by D^T, transposed once per
+//                   field. Bit-identical to kBasic.
 
 #include <string>
 #include <vector>
 
 namespace cmtbone::kernels {
 
-enum class GradVariant { kBasic, kFused, kUnrolled, kFusedUnrolled, kBlocked };
+enum class GradVariant {
+  kBasic,
+  kFused,
+  kUnrolled,
+  kFusedUnrolled,
+  kBlocked,
+  kMxmFixed,
+};
 
 const char* variant_name(GradVariant v);
 /// All variants, in declaration order (for sweeps).

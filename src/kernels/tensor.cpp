@@ -9,6 +9,18 @@ void tensor_apply3(const double* a, const double* at, int m, int n,
   double* t1 = work;                                 // (m, n, n)
   double* t2 = work + std::size_t(m) * n * n;        // (m, m, n)
 
+  // Every direction contracts over n, so one dispatch-table lookup selects
+  // the fixed-N microkernel for the whole application (runtime fallback for
+  // unspecialized sizes; results are bit-identical either way).
+  if (MxmFixedFn f = mxm_fixed_kernel(n)) {
+    f(a, m, u, t1, n * n);
+    for (int k = 0; k < n; ++k) {
+      f(t1 + std::size_t(k) * m * n, m, at, t2 + std::size_t(k) * m * m, m);
+    }
+    f(t2, m * m, at, out, m);
+    return;
+  }
+
   // Direction 1: t1(a,j,k) = sum_i A(a,i) u(i,j,k)  ==  A * U(n, n^2).
   mxm(a, m, u, n, t1, n * n);
 

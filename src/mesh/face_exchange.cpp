@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstddef>
 #include <cstring>
 
 namespace cmtbone::mesh {
@@ -64,45 +65,76 @@ FaceExchange::FaceExchange(comm::Comm& comm, const Partition& part)
     dir_plans[f].partner = part.neighbor_rank(d[0], d[1], d[2]);
     plans_.push_back(std::move(dir_plans[f]));
   }
-  sendbuf_.resize(plans_.size());
   recvbuf_.resize(plans_.size());
 }
 
 void FaceExchange::exchange(const double* myfaces, double* nbrfaces,
                             int nfields) {
+  begin(myfaces, nbrfaces, nfields);
+  finish();
+}
+
+void FaceExchange::begin(const double* myfaces, double* nbrfaces,
+                         int nfields) {
   comm::SiteScope site("full2face_cmt.exchange");
   const std::size_t fpts = std::size_t(n_) * n_;
   const std::size_t field_stride = face_array_size(n_, nel_);
+  pending_nbrfaces_ = nbrfaces;
+  pending_nfields_ = nfields;
 
   // Post receives first: the payload arriving from partner(d) was sent as
   // their face opposite(dir), which is exactly my `dir` neighbor data.
-  std::vector<comm::Request> recv_reqs;
-  recv_reqs.reserve(plans_.size());
+  recv_reqs_.clear();
+  recv_reqs_.reserve(plans_.size());
   for (std::size_t p = 0; p < plans_.size(); ++p) {
     const DirPlan& plan = plans_[p];
     recvbuf_[p].resize(plan.elems.size() * fpts * nfields);
-    recv_reqs.push_back(comm_->irecv(
+    recv_reqs_.push_back(comm_->irecv(
         std::span<double>(recvbuf_[p]), plan.partner,
         kTagBase + opposite_face(plan.dir)));
   }
 
-  for (std::size_t p = 0; p < plans_.size(); ++p) {
-    const DirPlan& plan = plans_[p];
-    sendbuf_[p].resize(plan.elems.size() * fpts * nfields);
-    double* out = sendbuf_[p].data();
+  // Pack each outgoing plane directly into the byte payload that becomes
+  // the in-flight message — isend_payload moves it into the runtime, so the
+  // plane is copied exactly once between `myfaces` and the receiver.
+  for (const DirPlan& plan : plans_) {
+    std::vector<std::byte> payload(plan.elems.size() * fpts * nfields *
+                                   sizeof(double));
+    std::byte* out = payload.data();
     for (int fd = 0; fd < nfields; ++fd) {
       const double* field = myfaces + fd * field_stride;
       for (int e : plan.elems) {
         std::memcpy(out, field + face_offset(plan.dir, e, n_),
                     fpts * sizeof(double));
-        out += fpts;
+        out += fpts * sizeof(double);
       }
     }
-    comm_->isend(std::span<const double>(sendbuf_[p]), plan.partner,
-                 kTagBase + plan.dir);
+    comm_->isend_payload(std::move(payload), plan.partner,
+                         kTagBase + plan.dir);
   }
 
-  comm_->waitall(recv_reqs);
+  // Interior (and physical-boundary mirror) copies happen inside begin() so
+  // every locally-paired face is usable while the remote planes fly.
+  for (int fd = 0; fd < nfields; ++fd) {
+    const double* src_field = myfaces + fd * field_stride;
+    double* dst_field = nbrfaces + fd * field_stride;
+    for (const LocalCopy& c : local_) {
+      std::memcpy(dst_field + face_offset(c.dst_f, c.dst_e, n_),
+                  src_field + face_offset(c.src_f, c.src_e, n_),
+                  fpts * sizeof(double));
+    }
+  }
+}
+
+void FaceExchange::finish() {
+  if (!in_flight()) return;
+  comm::SiteScope site("full2face_cmt.exchange");
+  const std::size_t fpts = std::size_t(n_) * n_;
+  const std::size_t field_stride = face_array_size(n_, nel_);
+  double* nbrfaces = pending_nbrfaces_;
+  const int nfields = pending_nfields_;
+
+  comm_->waitall(recv_reqs_);
 
   for (std::size_t p = 0; p < plans_.size(); ++p) {
     const DirPlan& plan = plans_[p];
@@ -117,16 +149,9 @@ void FaceExchange::exchange(const double* myfaces, double* nbrfaces,
     }
   }
 
-  // Interior (and physical-boundary mirror) copies.
-  for (int fd = 0; fd < nfields; ++fd) {
-    const double* src_field = myfaces + fd * field_stride;
-    double* dst_field = nbrfaces + fd * field_stride;
-    for (const LocalCopy& c : local_) {
-      std::memcpy(dst_field + face_offset(c.dst_f, c.dst_e, n_),
-                  src_field + face_offset(c.src_f, c.src_e, n_),
-                  fpts * sizeof(double));
-    }
-  }
+  recv_reqs_.clear();
+  pending_nbrfaces_ = nullptr;
+  pending_nfields_ = 0;
 }
 
 long long FaceExchange::send_bytes_per_exchange(int nfields) const {

@@ -24,7 +24,26 @@ class FaceExchange {
   /// geometric neighbor element. Both arrays hold `nfields` stacked face
   /// arrays of face_array_size(n, nel) doubles each. Faces on a physical
   /// (non-periodic) boundary receive the element's own face values.
+  /// Equivalent to begin() immediately followed by finish().
   void exchange(const double* myfaces, double* nbrfaces, int nfields);
+
+  /// Split-phase half of exchange(): post all receives, pack and send every
+  /// remote plane, and perform the local (same-rank and physical-boundary)
+  /// copies into `nbrfaces`, then return with the remote messages still in
+  /// flight. Faces of interior elements — and locally-paired faces of
+  /// boundary elements — are valid in `nbrfaces` as soon as begin() returns;
+  /// remotely-paired faces only after finish(). `myfaces` is fully packed
+  /// before returning and may be reused; `nbrfaces` must stay alive until
+  /// finish(). At most one exchange may be in flight per FaceExchange.
+  void begin(const double* myfaces, double* nbrfaces, int nfields);
+
+  /// Complete the exchange started by begin(): wait for the remote planes
+  /// and unpack them into the `nbrfaces` passed to begin(). No-op when no
+  /// exchange is in flight.
+  void finish();
+
+  /// True between begin() and the matching finish().
+  bool in_flight() const { return pending_nbrfaces_ != nullptr; }
 
   /// Payload bytes this rank sends per exchange call.
   long long send_bytes_per_exchange(int nfields) const;
@@ -49,8 +68,15 @@ class FaceExchange {
   int nel_ = 0;
   std::vector<LocalCopy> local_;
   std::vector<DirPlan> plans_;
-  std::vector<std::vector<double>> sendbuf_;  // one per plan
-  std::vector<std::vector<double>> recvbuf_;
+  // Send planes are packed straight into byte payloads that are moved into
+  // the runtime (comm::Comm::isend_payload), so there is no persistent send
+  // buffer; receive buffers persist across steps (resize only ever grows).
+  std::vector<std::vector<double>> recvbuf_;  // one per plan
+
+  // Split-phase state between begin() and finish().
+  std::vector<comm::Request> recv_reqs_;
+  double* pending_nbrfaces_ = nullptr;
+  int pending_nfields_ = 0;
 };
 
 }  // namespace cmtbone::mesh

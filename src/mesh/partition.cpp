@@ -78,6 +78,24 @@ int Partition::owner_of(int gx, int gy, int gz) const {
   return rank_of(spec_, ox, oy, oz);
 }
 
+bool Partition::element_touches_remote(int e) const {
+  const std::array<int, 3> extent = {spec_.ex, spec_.ey, spec_.ez};
+  const std::array<int, 3> lo = {x0_, y0_, z0_};
+  const std::array<int, 3> hi = {x1_, y1_, z1_};
+  auto g = global_coords(e);
+  for (int ax = 0; ax < 3; ++ax) {
+    for (int side = -1; side <= 1; side += 2) {
+      int ng = g[ax] + side;
+      if (ng < 0 || ng >= extent[ax]) {
+        if (!spec_.periodic) continue;  // physical boundary mirrors locally
+        ng = (ng + extent[ax]) % extent[ax];
+      }
+      if (ng < lo[ax] || ng >= hi[ax]) return true;
+    }
+  }
+  return false;
+}
+
 int Partition::neighbor_rank(int dx, int dy, int dz) const {
   int nx = cx_ + dx, ny = cy_ + dy, nz = cz_ + dz;
   if (spec_.periodic) {
@@ -89,6 +107,16 @@ int Partition::neighbor_rank(int dx, int dy, int dz) const {
     return -1;
   }
   return rank_of(spec_, nx, ny, nz);
+}
+
+ElementClasses classify_interior_boundary(const Partition& part) {
+  ElementClasses cls;
+  const int nel = part.nel();
+  cls.interior.reserve(nel);
+  for (int e = 0; e < nel; ++e) {
+    (part.element_touches_remote(e) ? cls.boundary : cls.interior).push_back(e);
+  }
+  return cls;
 }
 
 }  // namespace cmtbone::mesh

@@ -11,6 +11,7 @@
 #include <array>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace cmtbone::mesh {
 
@@ -73,6 +74,11 @@ class Partition {
   /// non-periodic box.
   int neighbor_rank(int dx, int dy, int dz) const;
 
+  /// True when any face of local element `e` pairs with an element on a
+  /// remote rank (including periodic wrap). Physical-boundary faces mirror
+  /// locally and do not count.
+  bool element_touches_remote(int e) const;
+
  private:
   static void split_range(int extent, int procs, int coord, int* lo, int* hi);
 
@@ -81,5 +87,17 @@ class Partition {
   int cx_, cy_, cz_;
   int x0_, x1_, y0_, y1_, z0_, z1_;
 };
+
+/// Interior/boundary split of a rank's elements for compute–communication
+/// overlap: an element is `boundary` when at least one of its six faces
+/// pairs with an element on another rank (its surface term needs in-flight
+/// halo data), `interior` otherwise. Both lists are in ascending local
+/// order and together cover 0..nel-1 exactly once.
+struct ElementClasses {
+  std::vector<int> interior;
+  std::vector<int> boundary;
+};
+
+ElementClasses classify_interior_boundary(const Partition& part);
 
 }  // namespace cmtbone::mesh

@@ -1,0 +1,23 @@
+#include "prof/overlap.hpp"
+
+namespace cmtbone::prof {
+
+void OverlapStats::reset() {
+  windows = 0;
+  begin_seconds = 0.0;
+  compute_seconds = 0.0;
+  finish_seconds = 0.0;
+}
+
+double OverlapStats::hidden_fraction() const {
+  const double denom = compute_seconds + finish_seconds;
+  if (denom <= 0.0) return 0.0;
+  return compute_seconds / denom;
+}
+
+double OverlapStats::exposed_seconds_per_window() const {
+  if (windows == 0) return 0.0;
+  return (begin_seconds + finish_seconds) / double(windows);
+}
+
+}  // namespace cmtbone::prof

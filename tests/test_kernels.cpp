@@ -61,6 +61,76 @@ TEST(Mxm, AccumulatingFormAddsToC) {
   for (int i = 0; i < n * n; ++i) EXPECT_NEAR(c0[i], c1[i] + 1.0, 1e-13);
 }
 
+// --- fixed-N microkernel dispatch ------------------------------------------
+
+TEST(MxmFixed, BitIdenticalToRuntimeMxmForEveryDispatchedN) {
+  // The fixed-N kernels accumulate over l in the same ascending order as the
+  // runtime loop, so the results must match bit for bit — which is what lets
+  // the driver switch kernels without perturbing physics results.
+  for (int n2 = 2; n2 <= 25; ++n2) {
+    cmtbone::kernels::MxmFixedFn f = cmtbone::kernels::mxm_fixed_kernel(n2);
+    ASSERT_NE(f, nullptr) << "n2=" << n2;
+    // Cover both the 4-wide blocked rows and the remainder rows.
+    for (int n1 : {8, 5, 3}) {
+      const int n3 = 6;
+      auto a = random_vec(std::size_t(n1) * n2, 100 + n2);
+      auto b = random_vec(std::size_t(n2) * n3, 200 + n2);
+      std::vector<double> c_ref(std::size_t(n1) * n3, 0.0);
+      std::vector<double> c_fix(std::size_t(n1) * n3, 0.0);
+      cmtbone::kernels::mxm(a.data(), n1, b.data(), n2, c_ref.data(), n3);
+      f(a.data(), n1, b.data(), c_fix.data(), n3);
+      for (std::size_t i = 0; i < c_ref.size(); ++i) {
+        ASSERT_EQ(c_ref[i], c_fix[i]) << "n2=" << n2 << " n1=" << n1
+                                      << " idx=" << i;
+      }
+    }
+  }
+}
+
+TEST(MxmFixed, DispatchTableBounds) {
+  EXPECT_EQ(cmtbone::kernels::mxm_fixed_kernel(1), nullptr);
+  EXPECT_EQ(cmtbone::kernels::mxm_fixed_kernel(26), nullptr);
+  EXPECT_EQ(cmtbone::kernels::mxm_fixed_kernel(0), nullptr);
+  EXPECT_NE(cmtbone::kernels::mxm_fixed_kernel(2), nullptr);
+  EXPECT_NE(cmtbone::kernels::mxm_fixed_kernel(25), nullptr);
+}
+
+TEST(MxmFixed, AutoFallsBackToRuntimeKernelBeyondTable) {
+  const int n2 = 30;  // outside the 2..25 dispatch range
+  const int n1 = 7, n3 = 5;
+  auto a = random_vec(std::size_t(n1) * n2, 11);
+  auto b = random_vec(std::size_t(n2) * n3, 12);
+  std::vector<double> c_ref(std::size_t(n1) * n3, 0.0);
+  std::vector<double> c_auto(std::size_t(n1) * n3, 0.0);
+  cmtbone::kernels::mxm(a.data(), n1, b.data(), n2, c_ref.data(), n3);
+  cmtbone::kernels::mxm_auto(a.data(), n1, b.data(), n2, c_auto.data(), n3);
+  for (std::size_t i = 0; i < c_ref.size(); ++i) {
+    EXPECT_EQ(c_ref[i], c_auto[i]);
+  }
+}
+
+TEST(Gradient, MxmFixedVariantBitIdenticalToBasic) {
+  for (int n : {5, 9, 13}) {
+    const int nel = 3;
+    const std::size_t pts = std::size_t(n) * n * n * nel;
+    auto ops = cmtbone::sem::Operators::build(n);
+    auto u = random_vec(pts, 40 + n);
+    std::vector<double> ref(pts), fix(pts);
+    using cmtbone::kernels::grad_r;
+    using cmtbone::kernels::grad_s;
+    using cmtbone::kernels::grad_t;
+    grad_r(GradVariant::kBasic, ops.d.data(), u.data(), ref.data(), n, nel);
+    grad_r(GradVariant::kMxmFixed, ops.d.data(), u.data(), fix.data(), n, nel);
+    for (std::size_t p = 0; p < pts; ++p) ASSERT_EQ(ref[p], fix[p]) << n;
+    grad_s(GradVariant::kBasic, ops.d.data(), u.data(), ref.data(), n, nel);
+    grad_s(GradVariant::kMxmFixed, ops.d.data(), u.data(), fix.data(), n, nel);
+    for (std::size_t p = 0; p < pts; ++p) ASSERT_EQ(ref[p], fix[p]) << n;
+    grad_t(GradVariant::kBasic, ops.d.data(), u.data(), ref.data(), n, nel);
+    grad_t(GradVariant::kMxmFixed, ops.d.data(), u.data(), fix.data(), n, nel);
+    for (std::size_t p = 0; p < pts; ++p) ASSERT_EQ(ref[p], fix[p]) << n;
+  }
+}
+
 // --- gradient variants agree with the basic reference ----------------------
 
 struct GradCase {
