@@ -78,6 +78,20 @@ void ChaosEngine::on_rank_op(int rank, Hook hook) {
   if (dur.count() > 0) std::this_thread::sleep_for(dur);
 }
 
+void ChaosEngine::on_step(int rank, long long step) {
+  if (rank != policy_.kill_rank || policy_.kill_step < 0) return;
+  if (step < policy_.kill_step) return;
+  // One-shot: exchange so exactly one step ever fires, across every
+  // recovery attempt sharing this engine.
+  if (kill_fired_.exchange(true, std::memory_order_acq_rel)) return;
+  throw ChaosAbortInjected::at_step(rank, step);
+}
+
+bool ChaosEngine::corrupt_checkpoint(int rank, long long epoch) const {
+  return policy_.corrupt_rank >= 0 && rank == policy_.corrupt_rank &&
+         epoch == policy_.corrupt_epoch;
+}
+
 int ChaosEngine::hold_ticks(int ctx, int src, int dest, int tag,
                             std::uint64_t seq, std::size_t bytes) {
   std::uint64_t h = combine(policy_.seed, kHoldSalt);

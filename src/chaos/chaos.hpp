@@ -70,6 +70,22 @@ struct ChaosPolicy {
   int abort_rank = -1;
   long long abort_at_op = -1;
 
+  /// Step-boundary kill: `kill_rank` throws ChaosAbortInjected from
+  /// ChaosEngine::on_step() the first time it reaches step `kill_step`
+  /// (< 0 disables). Unlike abort_at_op this fault is ONE-SHOT across the
+  /// engine's lifetime, so a recovery re-run under the same engine rides
+  /// past the kill point and completes — the fault model of a node that
+  /// died once and was replaced.
+  int kill_rank = -1;
+  long long kill_step = -1;
+
+  /// Checkpoint-corruption fault: ChaosEngine::corrupt_checkpoint() answers
+  /// true for (corrupt_rank, corrupt_epoch), telling the checkpoint
+  /// coordinator to damage that rank's just-written primary file. Verifies
+  /// the CRC/buddy/older-epoch fallback chain end to end (< 0 disables).
+  int corrupt_rank = -1;
+  long long corrupt_epoch = -1;
+
   /// Seed-derived sweep policy: draws every knob (delay/hold probabilities
   /// and bounds, one straggler rank) from `seed` so a seed sweep explores
   /// different perturbation mixes. Seed 0 injects nothing (digest only).
@@ -84,6 +100,17 @@ struct ChaosAbortInjected : std::runtime_error {
       : std::runtime_error("chaos: forced abort injected at rank " +
                            std::to_string(rank) + ", op " +
                            std::to_string(op)) {}
+
+  /// The step-boundary kill variant (ChaosPolicy::kill_step).
+  static ChaosAbortInjected at_step(int rank, long long step) {
+    return ChaosAbortInjected("chaos: kill injected at rank " +
+                              std::to_string(rank) + ", step " +
+                              std::to_string(step));
+  }
+
+ private:
+  explicit ChaosAbortInjected(const std::string& what)
+      : std::runtime_error(what) {}
 };
 
 /// One engine per comm::run job. The comm layer calls the hooks; callers
@@ -100,6 +127,17 @@ class ChaosEngine {
   /// sleep a bounded, seeded amount and may throw ChaosAbortInjected.
   /// Must be called WITHOUT the mailbox mutex held (it can sleep).
   void on_rank_op(int rank, Hook hook);
+
+  /// Step-boundary hook, called by the driver's resilience hook after each
+  /// completed step. Throws ChaosAbortInjected once when `rank` reaches the
+  /// policy's kill point; one-shot, so a recovered re-run survives it.
+  void on_step(int rank, long long step);
+
+  /// Should the checkpoint coordinator corrupt `rank`'s just-written
+  /// primary file for `epoch`? Pure decision — the coordinator does the
+  /// damage (persistent, not one-shot: a rewrite of the same epoch is
+  /// corrupted again, as a bad disk would).
+  bool corrupt_checkpoint(int rank, long long epoch) const;
 
   /// Deliver-side decision for the `seq`-th message of stream
   /// (ctx, src, tag) -> dest: how many mailbox ticks to hold it (0 =
@@ -127,6 +165,7 @@ class ChaosEngine {
   };
   std::vector<RankState> ranks_;
   std::atomic<std::uint64_t> digest_{0};
+  std::atomic<bool> kill_fired_{false};
 };
 
 }  // namespace cmtbone::chaos

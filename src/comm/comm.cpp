@@ -126,6 +126,23 @@ Status Comm::wait_raw(const Request& req) {
   return my_box().wait(req, uni_);
 }
 
+void Comm::waitall_raw(std::span<Request> reqs) {
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    try {
+      wait_raw(reqs[i]);
+    } catch (...) {
+      // The mailbox withdrew the request it was waiting on (and a chaos
+      // hook may have thrown before the wait even started), so withdraw
+      // from i onward: the rest are still posted against buffers this
+      // unwind is about to destroy.
+      for (std::size_t j = i; j < reqs.size(); ++j) {
+        my_box().cancel(reqs[j]);
+      }
+      throw;
+    }
+  }
+}
+
 // ---- profiled p2p -----------------------------------------------------------
 
 void Comm::send_bytes(const void* buf, std::size_t bytes, int dest, int tag) {
@@ -210,9 +227,7 @@ Status Comm::wait(Request& req) {
 
 void Comm::waitall(std::span<Request> reqs) {
   prof::WallTimer t;
-  for (Request& r : reqs) {
-    wait_raw(r);
-  }
+  waitall_raw(reqs);
   record("MPI_Waitall", t.seconds(), 0);
   // Trace each matched receive; the blocking interval is shared.
   for (Request& r : reqs) {
@@ -264,18 +279,29 @@ int Comm::waitany(std::span<Request> reqs, Status* status) {
       record("MPI_Waitany", t.seconds(), 0);
       return -1;
     }
-    uni_->check_abort();
-    // Deliveries happen-before a rank's exit, so one full rescan after
-    // observing "everyone else exited" is conclusive.
-    if (doomed_seen) {
-      // Name the first still-pending receive so the failure is diagnosable.
-      for (const Request& r : reqs) {
-        if (r.valid() && r.state()->is_recv) {
-          const RequestState& rs = *r.state();
-          throw DeadlockDetected(group_[rank_], rs.ctx, rs.src, rs.tag);
+    try {
+      uni_->check_abort();
+      // Deliveries happen-before a rank's exit, so one full rescan after
+      // observing "everyone else exited" is conclusive. (check_abort ran
+      // after the last_rank_standing observation, so a crashed peer has
+      // already been reported as RankFailed/JobAborted above, never here.)
+      if (doomed_seen) {
+        // Name the first still-pending receive so the failure is
+        // diagnosable.
+        for (const Request& r : reqs) {
+          if (r.valid() && r.state()->is_recv) {
+            const RequestState& rs = *r.state();
+            throw DeadlockDetected(group_[rank_], rs.ctx, rs.src, rs.tag);
+          }
         }
+        throw DeadlockDetected{};
       }
-      throw DeadlockDetected{};
+    } catch (...) {
+      // Unwinding with receives still posted: withdraw them so deliveries
+      // from ranks that have not yet noticed the failure cannot write into
+      // buffers the caller is destroying.
+      for (Request& r : reqs) my_box().cancel(r);
+      throw;
     }
     if (uni_->last_rank_standing()) {
       // A chaos-held envelope must not masquerade as a missing sender.
@@ -285,6 +311,11 @@ int Comm::waitany(std::span<Request> reqs, Status* status) {
     }
     std::this_thread::yield();
   }
+}
+
+void Comm::cancel(Request& req) {
+  my_box().cancel(req);
+  req = Request();
 }
 
 bool Comm::test(Request& req) {

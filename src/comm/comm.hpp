@@ -72,6 +72,11 @@ class Comm {
 
   Status wait(Request& req);
   void waitall(std::span<Request> reqs);
+  /// Withdraw a posted nonblocking receive (MPI_Cancel analogue) and null
+  /// the handle: afterwards no delivery can touch its buffer. Unwinding
+  /// code with receives still in flight must cancel them before their
+  /// buffers are destroyed. No-op on null/send/completed requests.
+  void cancel(Request& req);
   /// Block until at least one request completes; returns its index and
   /// clears it (MPI_Waitany). Null requests are skipped; returns -1 when
   /// every request is null.
@@ -212,6 +217,10 @@ class Comm {
   void send_raw(const void* buf, std::size_t bytes, int dest, int tag);
   Request post_recv_raw(void* buf, std::size_t capacity, int src, int tag);
   Status wait_raw(const Request& req);
+  // Wait on every request in order; if one wait unwinds (peer failure,
+  // abort, provable deadlock), withdraw the not-yet-completed receives so
+  // none can later deliver into a buffer the unwind is destroying.
+  void waitall_raw(std::span<Request> reqs);
   int next_coll_tag() { return kCollectiveTagBase + (coll_seq_++ & 0xffff); }
 
   // Report one completed operation to the profiler and (if attached) the
@@ -296,14 +305,16 @@ std::vector<T> Comm::gather(std::span<const T> mine, int root) {
     reqs.reserve(p - 1);
     for (int r = 0; r < p; ++r) {
       if (r == rank_) {
-        std::memcpy(out.data() + std::size_t(r) * mine.size(), mine.data(),
-                    mine.size_bytes());
+        if (!mine.empty()) {
+          std::memcpy(out.data() + std::size_t(r) * mine.size(), mine.data(),
+                      mine.size_bytes());
+        }
       } else {
         reqs.push_back(post_recv_raw(out.data() + std::size_t(r) * mine.size(),
                                      mine.size_bytes(), r, tag));
       }
     }
-    for (auto& rq : reqs) wait_raw(rq);
+    waitall_raw(std::span<Request>(reqs));
   } else {
     send_raw(mine.data(), mine.size_bytes(), root, tag);
   }
@@ -336,14 +347,16 @@ std::vector<T> Comm::gatherv(std::span<const T> mine, int root,
     std::vector<Request> reqs;
     for (int r = 0; r < p; ++r) {
       if (r == rank_) {
-        std::memcpy(out.data() + offset[r], mine.data(), mine.size_bytes());
+        if (!mine.empty()) {
+          std::memcpy(out.data() + offset[r], mine.data(), mine.size_bytes());
+        }
       } else if (cnt[r] > 0) {
         reqs.push_back(post_recv_raw(out.data() + offset[r],
                                      std::size_t(cnt[r]) * sizeof(T), r,
                                      tag_data));
       }
     }
-    for (auto& rq : reqs) wait_raw(rq);
+    waitall_raw(std::span<Request>(reqs));
     if (counts != nullptr) *counts = std::move(cnt);
   } else {
     int n = int(mine.size());
@@ -413,7 +426,7 @@ std::vector<T> Comm::alltoallv(std::span<const T> send,
       if (r == rank_) continue;
       send_raw(&send_counts[r], sizeof(int), r, tag_count);
     }
-    for (auto& rq : reqs) wait_raw(rq);
+    waitall_raw(std::span<Request>(reqs));
   }
 
   std::vector<std::size_t> roff(p), soff(p);
@@ -430,8 +443,10 @@ std::vector<T> Comm::alltoallv(std::span<const T> send,
   reqs.reserve(p - 1);
   for (int r = 0; r < p; ++r) {
     if (r == rank_) {
-      std::memcpy(out.data() + roff[r], send.data() + soff[r],
-                  std::size_t(rcnt[r]) * sizeof(T));
+      if (rcnt[r] > 0) {
+        std::memcpy(out.data() + roff[r], send.data() + soff[r],
+                    std::size_t(rcnt[r]) * sizeof(T));
+      }
     } else if (rcnt[r] > 0) {
       reqs.push_back(post_recv_raw(out.data() + roff[r],
                                    std::size_t(rcnt[r]) * sizeof(T), r,
@@ -445,7 +460,7 @@ std::vector<T> Comm::alltoallv(std::span<const T> send,
              tag_data);
     sent_bytes += (long long)(std::size_t(send_counts[r]) * sizeof(T));
   }
-  for (auto& rq : reqs) wait_raw(rq);
+  waitall_raw(std::span<Request>(reqs));
 
   if (recv_counts != nullptr) *recv_counts = std::move(rcnt);
   record("MPI_Alltoallv", t.seconds(), sent_bytes);

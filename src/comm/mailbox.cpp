@@ -28,6 +28,21 @@ void Mailbox::complete_locked(RequestState& rs, const Envelope& env) {
   rs.done = true;
 }
 
+void Mailbox::remove_pending_locked(const RequestState* rs) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->get() == rs) {
+      pending_.erase(it);
+      return;
+    }
+  }
+}
+
+void Mailbox::cancel(const Request& req) {
+  if (!req.valid() || !req.state()->is_recv) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  remove_pending_locked(req.state());
+}
+
 void Mailbox::deliver_locked(Envelope env) {
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
     RequestState& rs = **it;
@@ -155,13 +170,24 @@ Status Mailbox::wait(const Request& req, const JobControl* job) {
       if (rs.done) break;
     }
     if (job == nullptr) continue;
-    if (job->aborted()) throw JobAborted(owner_, rs.ctx, rs.src, rs.tag);
+    if (job->aborted()) {
+      remove_pending_locked(&rs);
+      throw_blocked_abort(*job, owner_, rs.ctx, rs.src, rs.tag);
+    }
     if (job->last_rank_standing()) {
       // A held envelope may be the very message this receive needs: release
       // everything before concluding that no sender can exist.
       if (chaos_ != nullptr) {
         flush_held_locked();
         if (rs.done) break;
+      }
+      // The dying rank raises the abort flag *before* decrementing the
+      // active count, but this loop loads them in the opposite order — so
+      // re-check after observing "everyone else exited" lest a crashed
+      // peer be misreported as a provable deadlock.
+      remove_pending_locked(&rs);
+      if (job->aborted()) {
+        throw_blocked_abort(*job, owner_, rs.ctx, rs.src, rs.tag);
       }
       throw DeadlockDetected(owner_, rs.ctx, rs.src, rs.tag);
     }
@@ -198,12 +224,15 @@ Status Mailbox::probe(int ctx, int src, int tag, const JobControl* job) {
     if (chaos_ != nullptr) pump_locked();
     if ((hit = find()) != nullptr) break;
     if (job != nullptr) {
-      if (job->aborted()) throw JobAborted(owner_, ctx, src, tag);
+      if (job->aborted()) throw_blocked_abort(*job, owner_, ctx, src, tag);
       if (job->last_rank_standing()) {
         if (chaos_ != nullptr) {
           flush_held_locked();
           if ((hit = find()) != nullptr) break;
         }
+        // See wait(): the abort flag is raised before the active count
+        // drops, so re-check before the deadlock verdict.
+        if (job->aborted()) throw_blocked_abort(*job, owner_, ctx, src, tag);
         throw DeadlockDetected(owner_, ctx, src, tag);
       }
     }

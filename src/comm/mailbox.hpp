@@ -46,9 +46,18 @@ class Mailbox {
   Request post_recv(int ctx, int src, int tag, void* buf, std::size_t capacity);
 
   /// Block until `req` completes; returns its status. While blocked, polls
-  /// `job` (when given): throws JobAborted if another rank crashed, or
-  /// DeadlockDetected if every other rank already exited.
+  /// `job` (when given): throws RankFailed/JobAborted if another rank
+  /// crashed, or DeadlockDetected if every other rank already exited. On
+  /// any of those throws the request is withdrawn from the pending list
+  /// first, so no later delivery can write into a buffer the unwinding
+  /// caller is about to destroy.
   Status wait(const Request& req, const JobControl* job = nullptr);
+
+  /// Withdraw a posted receive (MPI_Cancel analogue): after cancel() no
+  /// delivery will ever touch the request's buffer. Safe on null, send, and
+  /// already-completed requests (no-op). Callers unwinding with receives
+  /// still in flight MUST cancel them before the buffers go out of scope.
+  void cancel(const Request& req);
 
   /// Nonblocking completion check.
   bool test(const Request& req);
@@ -69,6 +78,9 @@ class Mailbox {
  private:
   // Copies payload into the receive buffer and fills status. Caller holds mu_.
   static void complete_locked(RequestState& rs, const Envelope& env);
+
+  // Drop one posted receive from pending_ (no-op if absent). Caller holds mu_.
+  void remove_pending_locked(const RequestState* rs);
 
   // The pre-chaos deliver(): match a pending receive or queue as
   // unexpected. Caller holds mu_.

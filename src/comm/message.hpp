@@ -56,6 +56,32 @@ struct JobAborted : std::runtime_error {
   JobAborted(int rank, int ctx, int src, int tag)
       : std::runtime_error("comm: job aborted by another rank; " +
                            blocked_recv_string(rank, ctx, src, tag)) {}
+
+ protected:
+  explicit JobAborted(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Failure status delivered to survivors: the runtime identified *which*
+/// rank died (its body unwound with a non-echo exception), so every peer
+/// blocked on it — waits, probes, collective trees, the crystal router —
+/// exits with the failed rank and the job's epoch instead of a generic
+/// abort or a spurious deadlock verdict. Derives from JobAborted so
+/// pre-resilience handlers keep working.
+struct RankFailed : JobAborted {
+  int failed_rank = -1;
+  long long epoch = -1;
+  RankFailed(int failed, long long job_epoch)
+      : JobAborted("comm: rank " + std::to_string(failed) +
+                   " failed (epoch " + std::to_string(job_epoch) + ")"),
+        failed_rank(failed),
+        epoch(job_epoch) {}
+  RankFailed(int failed, long long job_epoch, int rank, int ctx, int src,
+             int tag)
+      : JobAborted("comm: rank " + std::to_string(failed) + " failed (epoch " +
+                   std::to_string(job_epoch) + "); " +
+                   blocked_recv_string(rank, ctx, src, tag)),
+        failed_rank(failed),
+        epoch(job_epoch) {}
 };
 
 /// Thrown out of a blocked operation that can provably never complete:
@@ -84,7 +110,24 @@ class JobControl {
   virtual bool aborted() const = 0;
   /// True when the calling rank is the only one still running.
   virtual bool last_rank_standing() const = 0;
+  /// Global rank identified as the failure's origin, or -1 while unknown
+  /// (abort seen but the failing rank has not been attributed yet).
+  virtual int failed_rank() const { return -1; }
+  /// Epoch label the job was launched with (-1 outside recovery).
+  virtual long long failure_epoch() const { return -1; }
 };
+
+/// Unwind a blocked operation on an aborted job with the most specific
+/// exception available: RankFailed once the origin is known, JobAborted
+/// otherwise. `rank` and the (ctx, src, tag) spec name the blocked receive.
+[[noreturn]] inline void throw_blocked_abort(const JobControl& job, int rank,
+                                             int ctx, int src, int tag) {
+  const int failed = job.failed_rank();
+  if (failed >= 0) {
+    throw RankFailed(failed, job.failure_epoch(), rank, ctx, src, tag);
+  }
+  throw JobAborted(rank, ctx, src, tag);
+}
 
 /// Does an envelope satisfy a posted receive's (ctx, src, tag) spec?
 inline bool matches(const Envelope& env, int ctx, int src, int tag) {

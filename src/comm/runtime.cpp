@@ -1,5 +1,6 @@
 #include "comm/runtime.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <stdexcept>
 #include <thread>
@@ -19,7 +20,12 @@ void run(int nranks, const std::function<void(Comm&)>& body,
 
   Universe universe(nranks, options.comm_profiler, options.tracer,
                     options.chaos);
+  universe.set_epoch(options.epoch);
   std::vector<std::exception_ptr> errors(nranks);
+  // Per-rank failure-detection latency, sampled at the moment a survivor's
+  // blocked operation unwound (< 0 = this rank observed no failure). Each
+  // slot is written only by its own rank thread and read after join.
+  std::vector<double> detection(nranks, -1.0);
   if (options.call_profiles != nullptr) {
     options.call_profiles->clear();
     options.call_profiles->resize(nranks);
@@ -34,9 +40,18 @@ void run(int nranks, const std::function<void(Comm&)>& body,
       prof::WallTimer wall;
       try {
         body(world);
-      } catch (...) {
+      } catch (const JobAborted&) {
+        // The echo of a failure that originated elsewhere: record how long
+        // this survivor took to notice, but do not claim the failure.
         errors[r] = std::current_exception();
+        detection[r] = universe.seconds_since_failure();
         universe.abort();
+      } catch (...) {
+        // A real failure originating on this rank: attribute it so blocked
+        // peers unwind with RankFailed instead of a bare abort (or, worse,
+        // a spurious deadlock verdict).
+        errors[r] = std::current_exception();
+        universe.mark_failed(r);
       }
       universe.rank_finished();
       if (options.comm_profiler != nullptr) {
@@ -49,6 +64,16 @@ void run(int nranks, const std::function<void(Comm&)>& body,
     });
   }
   for (auto& t : threads) t.join();
+
+  if (options.recovery != nullptr) {
+    for (double d : detection) {
+      if (d < 0.0) continue;
+      options.recovery->detections += 1;
+      options.recovery->detection_seconds_sum += d;
+      options.recovery->detection_seconds_max =
+          std::max(options.recovery->detection_seconds_max, d);
+    }
+  }
 
   // Rethrow the first real failure; JobAborted is only the echo of it.
   std::exception_ptr aborted;

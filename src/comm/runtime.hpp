@@ -12,6 +12,7 @@
 #include "comm/comm.hpp"
 #include "prof/callprof.hpp"
 #include "prof/commprof.hpp"
+#include "prof/recovery.hpp"
 
 namespace cmtbone::comm {
 
@@ -29,6 +30,12 @@ struct RunOptions {
   /// caller owns the engine (construct it with the job's rank count) and
   /// can read its schedule digest after run() returns.
   chaos::ChaosEngine* chaos = nullptr;
+  /// Accumulate failure-detection latencies (how long each surviving rank
+  /// took to observe a dead peer) into these stats after the job joins.
+  prof::RecoveryStats* recovery = nullptr;
+  /// Epoch label carried by RankFailed on survivors (the recovery
+  /// supervisor sets it to the attempt's restore epoch; -1 = no recovery).
+  long long epoch = -1;
 };
 
 /// Run `body` on `nranks` ranks. Blocks until all ranks finish.

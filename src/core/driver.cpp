@@ -692,6 +692,15 @@ double Driver::run(int nsteps) {
   return time_ - t0;
 }
 
+double Driver::run(int nsteps, const StepHook& after_step) {
+  double t0 = time_;
+  for (int s = 0; s < nsteps; ++s) {
+    step();
+    if (after_step) after_step(*this);
+  }
+  return time_ - t0;
+}
+
 long long Driver::flops_per_rhs() const {
   const int n = config_.n;
   const int nel = part_.nel();
@@ -709,27 +718,29 @@ long long Driver::flops_per_step() const {
   return integrator_stages(config_.integrator) * flops_per_rhs();
 }
 
-void Driver::save_checkpoint(const std::string& directory,
-                             const std::string& prefix) const {
+std::vector<std::byte> Driver::serialize_checkpoint(long long epoch) const {
   io::CheckpointHeader header;
   header.n = config_.n;
   header.nel = part_.nel();
   header.nfields = nfields();
   header.steps = steps_;
   header.time = time_;
+  header.rank = comm_->rank();
+  header.epoch = epoch;
   std::vector<const double*> fields;
   fields.reserve(u_.size());
   for (const auto& f : u_) fields.push_back(f.data());
-  io::write_checkpoint(
-      io::rank_checkpoint_path(directory, prefix, comm_->rank()), header,
-      std::span<const double* const>(fields), pts_);
+  return io::serialize_checkpoint(
+      header, std::span<const double* const>(fields), pts_);
 }
 
-void Driver::load_checkpoint(const std::string& directory,
-                             const std::string& prefix) {
-  std::vector<std::vector<double>> fields;
-  io::CheckpointHeader header = io::read_checkpoint(
-      io::rank_checkpoint_path(directory, prefix, comm_->rank()), &fields);
+void Driver::save_checkpoint_file(const std::string& path,
+                                  long long epoch) const {
+  io::write_file_atomic(path, serialize_checkpoint(epoch));
+}
+
+void Driver::restore_state(const io::CheckpointHeader& header,
+                           std::vector<std::vector<double>>&& fields) {
   if (header.n != config_.n || header.nel != part_.nel() ||
       header.nfields != nfields()) {
     throw std::runtime_error(
@@ -738,6 +749,24 @@ void Driver::load_checkpoint(const std::string& directory,
   for (int f = 0; f < nfields(); ++f) u_[f] = std::move(fields[f]);
   time_ = header.time;
   steps_ = header.steps;
+}
+
+void Driver::load_checkpoint_file(const std::string& path) {
+  std::vector<std::vector<double>> fields;
+  io::CheckpointHeader header = io::read_checkpoint(path, &fields);
+  restore_state(header, std::move(fields));
+}
+
+void Driver::save_checkpoint(const std::string& directory,
+                             const std::string& prefix) const {
+  save_checkpoint_file(
+      io::rank_checkpoint_path(directory, prefix, comm_->rank()));
+}
+
+void Driver::load_checkpoint(const std::string& directory,
+                             const std::string& prefix) {
+  load_checkpoint_file(
+      io::rank_checkpoint_path(directory, prefix, comm_->rank()));
 }
 
 void Driver::export_vtk(const std::string& path) const {

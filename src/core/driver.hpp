@@ -23,6 +23,7 @@
 #include "comm/comm.hpp"
 #include "core/config.hpp"
 #include "gs/gather_scatter.hpp"
+#include "io/checkpoint.hpp"
 #include "mesh/face_exchange.hpp"
 #include "mesh/partition.hpp"
 #include "particles/tracker.hpp"
@@ -46,6 +47,12 @@ class Driver {
 
   /// Advance `nsteps` steps; returns simulated time advanced.
   double run(int nsteps);
+  /// Like run(), invoking `after_step` after every completed step. The
+  /// resilience layer hangs its checkpoint cadence (and chaos its
+  /// kill-at-step fault) off this hook; the hook may throw, which unwinds
+  /// the run like any rank failure.
+  using StepHook = std::function<void(Driver&)>;
+  double run(int nsteps, const StepHook& after_step);
   void step();
 
   double time() const { return time_; }
@@ -103,6 +110,16 @@ class Driver {
   /// Restore fields, time, and step count from a matching checkpoint.
   /// Throws if the checkpoint geometry does not match this config.
   void load_checkpoint(const std::string& directory, const std::string& prefix);
+  /// Single-file forms, used by the checkpoint coordinator which names
+  /// files by (epoch, rank) and ships the same bytes to a buddy rank.
+  void save_checkpoint_file(const std::string& path, long long epoch = -1) const;
+  void load_checkpoint_file(const std::string& path);
+  /// This rank's checkpoint as the exact bytes save_checkpoint_file would
+  /// write (v2 header with CRC32, rank, and `epoch`).
+  std::vector<std::byte> serialize_checkpoint(long long epoch = -1) const;
+  /// Adopt a parsed checkpoint (geometry-checked) as the current state.
+  void restore_state(const io::CheckpointHeader& header,
+                     std::vector<std::vector<double>>&& fields);
   /// Export this rank's fields as a legacy-VTK point cloud.
   void export_vtk(const std::string& path) const;
 

@@ -19,9 +19,12 @@ std::vector<std::byte> pack(const Pool& ship, std::size_t record_bytes) {
   std::vector<std::byte> buf(sizeof(int) + count * sizeof(int) +
                              count * record_bytes);
   std::memcpy(buf.data(), &count, sizeof(int));
-  std::memcpy(buf.data() + sizeof(int), ship.dest.data(), count * sizeof(int));
-  std::memcpy(buf.data() + sizeof(int) + count * sizeof(int), ship.data.data(),
-              count * record_bytes);
+  if (count > 0) {
+    std::memcpy(buf.data() + sizeof(int), ship.dest.data(),
+                count * sizeof(int));
+    std::memcpy(buf.data() + sizeof(int) + count * sizeof(int),
+                ship.data.data(), count * record_bytes);
+  }
   return buf;
 }
 
@@ -29,6 +32,7 @@ void unpack_into(const std::vector<std::byte>& buf, std::size_t record_bytes,
                  Pool* pool) {
   int count = 0;
   std::memcpy(&count, buf.data(), sizeof(int));
+  if (count <= 0) return;
   std::size_t old = pool->dest.size();
   pool->dest.resize(old + count);
   std::memcpy(pool->dest.data() + old, buf.data() + sizeof(int),

@@ -82,6 +82,15 @@ void GatherScatter::exec_many_with(std::span<double> values, int nfields,
   exec_impl<double>(values, nfields, op, method);
 }
 
+GatherScatter::~GatherScatter() { abandon_split(); }
+
+void GatherScatter::abandon_split() {
+  for (comm::Request& r : split_.reqs) comm_->cancel(r);
+  split_.reqs.clear();
+  split_.active = false;
+  split_.done_in_begin = false;
+}
+
 void GatherScatter::exec_many_begin(std::span<double> values, int nfields,
                                     ReduceOp op) {
   comm::SiteScope site("gs_op");
@@ -124,28 +133,36 @@ void GatherScatter::exec_many_begin(std::span<double> values, int nfields,
   // Phase 2a (pairwise): post all receives, pack and send. Mirrors
   // exec_pairwise exactly, with the buffers persisting across steps.
   comm::SiteScope psite("gs_op.pairwise");
-  split_.sendbuf.resize(pairwise_plan_.size());
-  split_.recvbuf.resize(pairwise_plan_.size());
-  split_.reqs.clear();
-  split_.reqs.reserve(pairwise_plan_.size());
-  std::size_t b = 0;
-  for (const auto& [neighbor, entries] : pairwise_plan_) {
-    std::vector<double>& rb = split_.recvbuf[b++];
-    rb.resize(entries.size() * nf);
-    split_.reqs.push_back(
-        comm_->irecv(std::span<double>(rb), neighbor, kPairwiseTag));
-  }
-  b = 0;
-  for (const auto& [neighbor, entries] : pairwise_plan_) {
-    std::vector<double>& sb = split_.sendbuf[b++];
-    sb.clear();
-    sb.reserve(entries.size() * nf);
-    for (int s : entries) {
-      const double* u =
-          split_.unique.data() + topo_.shared[s].unique_index * nf;
-      sb.insert(sb.end(), u, u + nf);
+  try {
+    split_.sendbuf.resize(pairwise_plan_.size());
+    split_.recvbuf.resize(pairwise_plan_.size());
+    split_.reqs.clear();
+    split_.reqs.reserve(pairwise_plan_.size());
+    std::size_t b = 0;
+    for (const auto& [neighbor, entries] : pairwise_plan_) {
+      std::vector<double>& rb = split_.recvbuf[b++];
+      rb.resize(entries.size() * nf);
+      split_.reqs.push_back(
+          comm_->irecv(std::span<double>(rb), neighbor, kPairwiseTag));
     }
-    comm_->isend(std::span<const double>(sb), neighbor, kPairwiseTag);
+    b = 0;
+    for (const auto& [neighbor, entries] : pairwise_plan_) {
+      std::vector<double>& sb = split_.sendbuf[b++];
+      sb.clear();
+      sb.reserve(entries.size() * nf);
+      for (int s : entries) {
+        const double* u =
+            split_.unique.data() + topo_.shared[s].unique_index * nf;
+        sb.insert(sb.end(), u, u + nf);
+      }
+      comm_->isend(std::span<const double>(sb), neighbor, kPairwiseTag);
+    }
+  } catch (...) {
+    // A chaos abort or peer failure can fire from the hooks inside
+    // irecv/isend with some receives already posted: withdraw them so
+    // nothing delivers into this handle's buffers after the unwind.
+    abandon_split();
+    throw;
   }
 }
 
@@ -163,7 +180,14 @@ void GatherScatter::exec_many_finish() {
     // as exec_pairwise, so the floating-point reduction order — and hence
     // the result bits — match the blocking path.
     comm::SiteScope psite("gs_op.pairwise");
-    comm_->waitall(split_.reqs);
+    try {
+      comm_->waitall(split_.reqs);
+    } catch (...) {
+      // waitall withdrew whatever was still posted; clear the split state
+      // so the handle is reusable (and the destructor has nothing stale).
+      abandon_split();
+      throw;
+    }
     std::size_t b = 0;
     for (const auto& [neighbor, entries] : pairwise_plan_) {
       const std::vector<double>& buf = split_.recvbuf[b++];

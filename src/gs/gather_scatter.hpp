@@ -42,6 +42,13 @@ class GatherScatter {
   GatherScatter(comm::Comm& comm, std::span<const long long> slot_ids,
                 Method method = Method::kAuto);
 
+  /// Withdraws any split-phase receives still posted (a chaos abort or
+  /// peer failure can unwind the owner between begin() and finish()), so
+  /// no late delivery ever writes into the freed recv buffers.
+  ~GatherScatter();
+  GatherScatter(const GatherScatter&) = delete;
+  GatherScatter& operator=(const GatherScatter&) = delete;
+
   /// gs_op: in-place gather-scatter over `values` (one per slot).
   void exec(std::span<double> values, ReduceOp op);
 
@@ -123,6 +130,11 @@ class GatherScatter {
 
   template <class T>
   static T identity(ReduceOp op);
+
+  // Withdraw any posted split-phase receives and clear the in-flight state;
+  // the unwind path shared by the destructor and begin()/finish() failure
+  // handling.
+  void abandon_split();
 
   comm::Comm* comm_;
   Topology topo_;

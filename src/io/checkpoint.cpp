@@ -1,8 +1,15 @@
 #include "io/checkpoint.hpp"
 
+#include <array>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 namespace cmtbone::io {
 
@@ -17,50 +24,169 @@ using File = std::unique_ptr<std::FILE, FileCloser>;
 [[noreturn]] void fail(const std::string& path, const std::string& what) {
   throw std::runtime_error("checkpoint " + path + ": " + what);
 }
+
+// Sanity checks shared by v1 and v2 parses.
+void check_plausible(const CheckpointHeader& h, const std::string& path) {
+  CheckpointHeader expected;
+  if (h.magic != expected.magic) fail(path, "bad magic");
+  if (h.version != 1 && h.version != 2) fail(path, "unsupported version");
+  if (h.n < 2 || h.nel < 0 || h.nfields < 0) fail(path, "implausible header");
+}
 }  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) {
+  // Standard reflected IEEE polynomial, byte-at-a-time table.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+ChecksumMismatch::ChecksumMismatch(std::string file_path, int file_rank,
+                                   long long file_epoch,
+                                   std::uint32_t expected, std::uint32_t actual)
+    : std::runtime_error("checkpoint " + file_path +
+                         ": payload CRC mismatch (header says " +
+                         std::to_string(expected) + ", payload hashes to " +
+                         std::to_string(actual) + "; rank " +
+                         std::to_string(file_rank) + ", epoch " +
+                         std::to_string(file_epoch) + ")"),
+      path(std::move(file_path)),
+      rank(file_rank),
+      epoch(file_epoch) {}
+
+std::vector<std::byte> serialize_checkpoint(
+    const CheckpointHeader& header, std::span<const double* const> fields,
+    std::size_t points) {
+  if (int(fields.size()) != header.nfields) {
+    throw std::runtime_error(
+        "checkpoint serialize: field count does not match header");
+  }
+  CheckpointHeader h = header;
+  h.version = 2;
+  const std::size_t payload = fields.size() * points * sizeof(double);
+  std::vector<std::byte> out(kHeaderBytesV2 + payload);
+  std::byte* dst = out.data() + kHeaderBytesV2;
+  for (const double* field : fields) {
+    std::memcpy(dst, field, points * sizeof(double));
+    dst += points * sizeof(double);
+  }
+  h.payload_crc = crc32(out.data() + kHeaderBytesV2, payload);
+  std::memcpy(out.data(), &h, kHeaderBytesV2);
+  return out;
+}
+
+CheckpointHeader parse_checkpoint(std::span<const std::byte> bytes,
+                                  const std::string& path,
+                                  std::vector<std::vector<double>>* fields) {
+  if (bytes.size() < kHeaderBytesV1) fail(path, "truncated header");
+  CheckpointHeader header;
+  std::memcpy(static_cast<void*>(&header), bytes.data(), kHeaderBytesV1);
+  check_plausible(header, path);
+  std::size_t header_bytes = kHeaderBytesV1;
+  if (header.version == 2) {
+    if (bytes.size() < kHeaderBytesV2) fail(path, "truncated header");
+    std::memcpy(static_cast<void*>(&header), bytes.data(), kHeaderBytesV2);
+    header_bytes = kHeaderBytesV2;
+  }
+  const std::size_t points =
+      std::size_t(header.n) * header.n * header.n * header.nel;
+  const std::size_t payload =
+      std::size_t(header.nfields) * points * sizeof(double);
+  if (bytes.size() != header_bytes + payload) {
+    fail(path, "payload size mismatch (truncated or trailing garbage)");
+  }
+  const std::byte* src = bytes.data() + header_bytes;
+  if (header.version == 2) {
+    const std::uint32_t actual = crc32(src, payload);
+    if (actual != header.payload_crc) {
+      throw ChecksumMismatch(path, header.rank, header.epoch,
+                             header.payload_crc, actual);
+    }
+  }
+  if (fields != nullptr) {
+    fields->assign(header.nfields, std::vector<double>(points));
+    for (auto& field : *fields) {
+      std::memcpy(field.data(), src, points * sizeof(double));
+      src += points * sizeof(double);
+    }
+  }
+  return header;
+}
+
+void write_file_atomic(const std::string& path,
+                       std::span<const std::byte> bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    File f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) fail(path, "cannot open " + tmp + " for writing");
+    if (!bytes.empty() &&
+        std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+      std::remove(tmp.c_str());
+      fail(path, "write failed");
+    }
+    if (std::fflush(f.get()) != 0) {
+      std::remove(tmp.c_str());
+      fail(path, "flush failed");
+    }
+#ifndef _WIN32
+    // Push the bytes to stable storage before the rename publishes the
+    // file: rename-then-sync could expose a zero-length file after a crash.
+    if (::fsync(::fileno(f.get())) != 0) {
+      std::remove(tmp.c_str());
+      fail(path, "fsync failed");
+    }
+#endif
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    fail(path, "rename from " + tmp + " failed: " + ec.message());
+  }
+}
+
+std::vector<std::byte> read_file(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) fail(path, "cannot open for reading");
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) fail(path, "seek failed");
+  const long size = std::ftell(f.get());
+  if (size < 0) fail(path, "tell failed");
+  if (std::fseek(f.get(), 0, SEEK_SET) != 0) fail(path, "seek failed");
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      std::fread(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+    fail(path, "read failed");
+  }
+  return bytes;
+}
 
 void write_checkpoint(const std::string& path, const CheckpointHeader& header,
                       std::span<const double* const> fields,
                       std::size_t points) {
-  if (int(fields.size()) != header.nfields) {
-    fail(path, "field count does not match header");
-  }
-  File f(std::fopen(path.c_str(), "wb"));
-  if (!f) fail(path, "cannot open for writing");
-  if (std::fwrite(&header, sizeof header, 1, f.get()) != 1) {
-    fail(path, "header write failed");
-  }
-  for (const double* field : fields) {
-    if (std::fwrite(field, sizeof(double), points, f.get()) != points) {
-      fail(path, "payload write failed");
-    }
-  }
-  if (std::fflush(f.get()) != 0) fail(path, "flush failed");
+  write_file_atomic(path, serialize_checkpoint(header, fields, points));
 }
 
 CheckpointHeader read_checkpoint(const std::string& path,
                                  std::vector<std::vector<double>>* fields) {
-  File f(std::fopen(path.c_str(), "rb"));
-  if (!f) fail(path, "cannot open for reading");
-  CheckpointHeader header;
-  if (std::fread(&header, sizeof header, 1, f.get()) != 1) {
-    fail(path, "header read failed");
-  }
-  CheckpointHeader expected;
-  if (header.magic != expected.magic) fail(path, "bad magic");
-  if (header.version != expected.version) fail(path, "unsupported version");
-  if (header.n < 2 || header.nel < 0 || header.nfields < 0) {
-    fail(path, "implausible header");
-  }
-  const std::size_t points =
-      std::size_t(header.n) * header.n * header.n * header.nel;
-  fields->assign(header.nfields, std::vector<double>(points));
-  for (auto& field : *fields) {
-    if (std::fread(field.data(), sizeof(double), points, f.get()) != points) {
-      fail(path, "payload read failed (truncated?)");
-    }
-  }
-  return header;
+  return parse_checkpoint(read_file(path), path, fields);
+}
+
+CheckpointHeader validate_checkpoint(const std::string& path) {
+  return parse_checkpoint(read_file(path), path, nullptr);
 }
 
 std::string rank_checkpoint_path(const std::string& directory,

@@ -4,12 +4,23 @@
 // Production Nek runs checkpoint conserved variables so long simulations
 // survive machine faults; the mini-app carries the same capability so its
 // I/O phase can be profiled alongside compute and comm. Format: a fixed
-// little-endian header (magic, version, n, nel, nfields, steps, time)
-// followed by the raw field payload. One file per rank, as Nek5000 does in
-// its one-file-per-processor mode.
+// little-endian header (magic, version, n, nel, nfields, steps, time, and —
+// since version 2 — a CRC32 of the payload plus the writing rank and
+// checkpoint epoch) followed by the raw field payload. One file per rank,
+// as Nek5000 does in its one-file-per-processor mode.
+//
+// Durability contract (the resilience layer depends on it):
+//   * Writes are torn-write-safe: the bytes go to `<path>.tmp`, are
+//     fsync'd, and only then renamed over `path`, so a crash mid-write
+//     never leaves a truncated file under the real name.
+//   * Version-2 readers verify the payload CRC32 and throw
+//     ChecksumMismatch (carrying rank/path/epoch) on silent corruption.
+//   * Version-1 files (no CRC trailer) remain readable.
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,25 +28,83 @@ namespace cmtbone::io {
 
 struct CheckpointHeader {
   std::uint64_t magic = 0x434d54424f4e4531ull;  // "CMTBONE1"
-  std::uint32_t version = 1;
+  std::uint32_t version = 2;
   std::int32_t n = 0;
   std::int32_t nel = 0;
   std::int32_t nfields = 0;
   std::int64_t steps = 0;
   double time = 0.0;
+  // --- version 2 trailer ---------------------------------------------------
+  std::uint32_t payload_crc = 0;  // CRC32 (IEEE) of the raw field payload
+  std::int32_t rank = -1;         // writing rank (-1 when not rank-addressed)
+  std::int64_t epoch = -1;        // coordinated-checkpoint epoch (-1 = none)
 };
 
-/// Write fields (each `points` doubles) to `path`. Throws std::runtime_error
-/// on I/O failure.
+// The on-disk layout is the in-memory layout: the first 40 bytes are the
+// version-1 header, the trailer extends it to 56. Reads of v1 files parse
+// only the prefix, so the struct must never be reordered.
+inline constexpr std::size_t kHeaderBytesV1 = 40;
+inline constexpr std::size_t kHeaderBytesV2 = 56;
+static_assert(sizeof(CheckpointHeader) == kHeaderBytesV2,
+              "checkpoint header layout is part of the file format");
+static_assert(offsetof(CheckpointHeader, payload_crc) == kHeaderBytesV1,
+              "v2 trailer must start exactly where the v1 header ended");
+
+/// CRC32 (IEEE 802.3, reflected) over `bytes` bytes. Pass the previous
+/// return value as `seed` to checksum data in chunks.
+std::uint32_t crc32(const void* data, std::size_t bytes,
+                    std::uint32_t seed = 0);
+
+/// A checkpoint whose payload CRC does not match its header: the file is
+/// present and well-formed but silently corrupt. Distinct from the generic
+/// runtime_error failures so recovery can fall back to a buddy copy or an
+/// older epoch instead of treating the file as absent.
+struct ChecksumMismatch : std::runtime_error {
+  std::string path;
+  int rank = -1;
+  long long epoch = -1;
+  ChecksumMismatch(std::string file_path, int file_rank, long long file_epoch,
+                   std::uint32_t expected, std::uint32_t actual);
+};
+
+/// Serialize header + fields (each `points` doubles) to bytes, filling the
+/// header's payload CRC. The result is exactly what write_checkpoint puts
+/// on disk — the resilience layer ships the same bytes to a buddy rank.
+std::vector<std::byte> serialize_checkpoint(
+    const CheckpointHeader& header, std::span<const double* const> fields,
+    std::size_t points);
+
+/// Parse serialized checkpoint bytes (v1 or v2); validates magic, version,
+/// payload size, and (v2) the payload CRC. Fills `fields` when non-null.
+/// `path` is used only for error messages.
+CheckpointHeader parse_checkpoint(std::span<const std::byte> bytes,
+                                  const std::string& path,
+                                  std::vector<std::vector<double>>* fields);
+
+/// Durably write `bytes` to `path` via `<path>.tmp` + fsync + atomic
+/// rename. Throws std::runtime_error on I/O failure (the tmp file is
+/// removed on a failed attempt).
+void write_file_atomic(const std::string& path,
+                       std::span<const std::byte> bytes);
+
+/// Read a whole file into memory. Throws std::runtime_error on failure.
+std::vector<std::byte> read_file(const std::string& path);
+
+/// Write fields (each `points` doubles) to `path`, torn-write-safe.
+/// Throws std::runtime_error on I/O failure.
 void write_checkpoint(const std::string& path, const CheckpointHeader& header,
                       std::span<const double* const> fields,
                       std::size_t points);
 
 /// Read a checkpoint; returns the header and fills `fields` (resized to
 /// header.nfields vectors of the stored point count). Validates magic,
-/// version, and payload size.
+/// version, payload size, and (v2) the payload CRC.
 CheckpointHeader read_checkpoint(const std::string& path,
                                  std::vector<std::vector<double>>* fields);
+
+/// Full-file validation (header + payload CRC) without keeping the data.
+/// Returns the header; throws like read_checkpoint on any defect.
+CheckpointHeader validate_checkpoint(const std::string& path);
 
 /// Conventional per-rank checkpoint file name.
 std::string rank_checkpoint_path(const std::string& directory,

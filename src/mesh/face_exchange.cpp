@@ -74,6 +74,15 @@ void FaceExchange::exchange(const double* myfaces, double* nbrfaces,
   finish();
 }
 
+FaceExchange::~FaceExchange() { abandon_exchange(); }
+
+void FaceExchange::abandon_exchange() {
+  for (comm::Request& r : recv_reqs_) comm_->cancel(r);
+  recv_reqs_.clear();
+  pending_nbrfaces_ = nullptr;
+  pending_nfields_ = 0;
+}
+
 void FaceExchange::begin(const double* myfaces, double* nbrfaces,
                          int nfields) {
   comm::SiteScope site("full2face_cmt.exchange");
@@ -84,33 +93,41 @@ void FaceExchange::begin(const double* myfaces, double* nbrfaces,
 
   // Post receives first: the payload arriving from partner(d) was sent as
   // their face opposite(dir), which is exactly my `dir` neighbor data.
-  recv_reqs_.clear();
-  recv_reqs_.reserve(plans_.size());
-  for (std::size_t p = 0; p < plans_.size(); ++p) {
-    const DirPlan& plan = plans_[p];
-    recvbuf_[p].resize(plan.elems.size() * fpts * nfields);
-    recv_reqs_.push_back(comm_->irecv(
-        std::span<double>(recvbuf_[p]), plan.partner,
-        kTagBase + opposite_face(plan.dir)));
-  }
-
-  // Pack each outgoing plane directly into the byte payload that becomes
-  // the in-flight message — isend_payload moves it into the runtime, so the
-  // plane is copied exactly once between `myfaces` and the receiver.
-  for (const DirPlan& plan : plans_) {
-    std::vector<std::byte> payload(plan.elems.size() * fpts * nfields *
-                                   sizeof(double));
-    std::byte* out = payload.data();
-    for (int fd = 0; fd < nfields; ++fd) {
-      const double* field = myfaces + fd * field_stride;
-      for (int e : plan.elems) {
-        std::memcpy(out, field + face_offset(plan.dir, e, n_),
-                    fpts * sizeof(double));
-        out += fpts * sizeof(double);
-      }
+  // A chaos abort or peer failure can fire from the hooks inside
+  // irecv/isend_payload with some receives already posted — withdraw them
+  // on the way out so nothing delivers into recvbuf_ after the unwind.
+  try {
+    recv_reqs_.clear();
+    recv_reqs_.reserve(plans_.size());
+    for (std::size_t p = 0; p < plans_.size(); ++p) {
+      const DirPlan& plan = plans_[p];
+      recvbuf_[p].resize(plan.elems.size() * fpts * nfields);
+      recv_reqs_.push_back(comm_->irecv(
+          std::span<double>(recvbuf_[p]), plan.partner,
+          kTagBase + opposite_face(plan.dir)));
     }
-    comm_->isend_payload(std::move(payload), plan.partner,
-                         kTagBase + plan.dir);
+
+    // Pack each outgoing plane directly into the byte payload that becomes
+    // the in-flight message — isend_payload moves it into the runtime, so
+    // the plane is copied exactly once between `myfaces` and the receiver.
+    for (const DirPlan& plan : plans_) {
+      std::vector<std::byte> payload(plan.elems.size() * fpts * nfields *
+                                     sizeof(double));
+      std::byte* out = payload.data();
+      for (int fd = 0; fd < nfields; ++fd) {
+        const double* field = myfaces + fd * field_stride;
+        for (int e : plan.elems) {
+          std::memcpy(out, field + face_offset(plan.dir, e, n_),
+                      fpts * sizeof(double));
+          out += fpts * sizeof(double);
+        }
+      }
+      comm_->isend_payload(std::move(payload), plan.partner,
+                           kTagBase + plan.dir);
+    }
+  } catch (...) {
+    abandon_exchange();
+    throw;
   }
 
   // Interior (and physical-boundary mirror) copies happen inside begin() so
@@ -134,7 +151,14 @@ void FaceExchange::finish() {
   double* nbrfaces = pending_nbrfaces_;
   const int nfields = pending_nfields_;
 
-  comm_->waitall(recv_reqs_);
+  try {
+    comm_->waitall(recv_reqs_);
+  } catch (...) {
+    // waitall withdrew whatever was still posted; clear the in-flight
+    // state so the handle is reusable after the job unwinds.
+    abandon_exchange();
+    throw;
+  }
 
   for (std::size_t p = 0; p < plans_.size(); ++p) {
     const DirPlan& plan = plans_[p];

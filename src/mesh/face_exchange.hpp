@@ -20,6 +20,13 @@ class FaceExchange {
  public:
   FaceExchange(comm::Comm& comm, const Partition& part);
 
+  /// Withdraws any receives still posted by an interrupted begin()/finish()
+  /// pair (chaos abort, peer failure), so no late delivery writes into the
+  /// persistent recv buffers after they are freed.
+  ~FaceExchange();
+  FaceExchange(const FaceExchange&) = delete;
+  FaceExchange& operator=(const FaceExchange&) = delete;
+
   /// Fill `nbrfaces` with, for every (element, face), the face values of the
   /// geometric neighbor element. Both arrays hold `nfields` stacked face
   /// arrays of face_array_size(n, nel) doubles each. Faces on a physical
@@ -52,6 +59,9 @@ class FaceExchange {
   int remote_partner_count() const;
 
  private:
+  // Withdraw posted receives and clear the in-flight state (unwind path).
+  void abandon_exchange();
+
   struct LocalCopy {
     int src_e, src_f;  // read myfaces(src_e, src_f)
     int dst_e, dst_f;  // write nbrfaces(dst_e, dst_f)

@@ -1,0 +1,15 @@
+#include "prof/recovery.hpp"
+
+namespace cmtbone::prof {
+
+void RecoveryStats::reset() { *this = RecoveryStats{}; }
+
+double RecoveryStats::mean_detection_seconds() const {
+  return detections > 0 ? detection_seconds_sum / double(detections) : 0.0;
+}
+
+double RecoveryStats::mttr_seconds() const {
+  return restores > 0 ? repair_seconds_sum / double(restores) : 0.0;
+}
+
+}  // namespace cmtbone::prof

@@ -1,0 +1,137 @@
+#include "resilience/recovery.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "comm/runtime.hpp"
+
+namespace cmtbone::resilience {
+
+namespace {
+long long now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+RecoveryReport run_with_recovery(int nranks, const core::Config& config,
+                                 int nsteps, const RecoveryPolicy& policy,
+                                 RecoveryOptions options) {
+  if (options.checkpoint.directory.empty()) {
+    throw std::invalid_argument(
+        "run_with_recovery: options.checkpoint.directory must be set");
+  }
+  RecoveryReport report;
+  options.checkpoint.stats = &report.stats;
+  if (options.checkpoint.chaos == nullptr) {
+    options.checkpoint.chaos = options.chaos;
+  }
+
+  // Cross-attempt bookkeeping, written by rank 0's thread inside the job
+  // and read by the supervisor after the join (atomics because a failed
+  // attempt's threads die at uncoordinated points).
+  std::atomic<long long> progress{0};      // furthest step any attempt reached
+  std::atomic<long long> committed{-1};    // newest epoch checkpoint_now took
+  std::atomic<long long> restored{-1};     // epoch the latest attempt loaded
+  std::atomic<long long> restore_done_ns{0};
+
+  long long pending_fail_ns = 0;
+  double backoff_ms = policy.backoff_initial_ms;
+
+  for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    report.attempts += 1;
+    restored.store(-1);
+
+    comm::RunOptions run_options;
+    run_options.comm_profiler = options.comm_profiler;
+    run_options.chaos = options.chaos;
+    run_options.recovery = &report.stats;
+    // Survivors of this attempt report failure against the attempt's base
+    // epoch: the newest globally committed checkpoint at launch.
+    run_options.epoch = committed.load();
+
+    try {
+      comm::run(
+          nranks,
+          [&](comm::Comm& world) {
+            core::Driver driver(world, config);
+            CheckpointCoordinator coordinator(world, options.checkpoint);
+            const long long from = coordinator.restore_latest(driver);
+            if (from >= 0) {
+              if (world.rank() == 0) {
+                restored.store(from);
+                committed.store(std::max(committed.load(), from));
+                restore_done_ns.store(now_ns());
+              }
+            } else {
+              driver.initialize(options.initial_condition
+                                    ? options.initial_condition
+                                    : driver.default_ic());
+            }
+            const int remaining = nsteps - int(driver.steps_taken());
+            driver.run(remaining, [&](core::Driver& d) {
+              if (world.rank() == 0) {
+                progress.store(
+                    std::max(progress.load(), (long long)d.steps_taken()));
+              }
+              // Kill BEFORE the boundary's checkpoint: a rank that dies at
+              // step s never contributes to epoch s, so recovery must come
+              // from an older epoch — the adversarial ordering.
+              if (options.chaos != nullptr) {
+                options.chaos->on_step(world.global_rank(world.rank()),
+                                       d.steps_taken());
+              }
+              const long long epoch = coordinator.maybe_checkpoint(d);
+              if (epoch >= 0 && world.rank() == 0) {
+                committed.store(std::max(committed.load(), epoch));
+              }
+            });
+            if (options.on_final) options.on_final(driver, world);
+          },
+          run_options);
+
+      // Attempt succeeded. Close an open repair interval (failure observed
+      // -> this attempt's restore finished) before reporting.
+      const long long done = restore_done_ns.load();
+      if (pending_fail_ns != 0 && done > pending_fail_ns) {
+        report.stats.repair_seconds_sum +=
+            double(done - pending_fail_ns) * 1e-9;
+        pending_fail_ns = 0;
+      }
+      report.completed = true;
+      report.failures = int(report.stats.failures);
+      report.last_restored_epoch = restored.load();
+      return report;
+    } catch (...) {
+      const long long fail_ns = now_ns();
+      report.stats.failures += 1;
+      // Work beyond the rollback point is recomputed: steps past the last
+      // committed epoch (or past step 0 when no epoch ever committed).
+      report.stats.steps_lost +=
+          std::max(0LL, progress.load() - std::max(committed.load(), 0LL));
+      // This failed attempt may itself have restored after an earlier
+      // failure; close that interval too.
+      const long long done = restore_done_ns.exchange(0);
+      if (pending_fail_ns != 0 && done > pending_fail_ns) {
+        report.stats.repair_seconds_sum +=
+            double(done - pending_fail_ns) * 1e-9;
+      }
+      pending_fail_ns = fail_ns;
+      if (attempt == policy.max_retries) throw;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms =
+          std::min(backoff_ms * policy.backoff_multiplier,
+                   policy.backoff_max_ms);
+    }
+  }
+  // Unreachable: the final failed attempt rethrows above.
+  return report;
+}
+
+}  // namespace cmtbone::resilience

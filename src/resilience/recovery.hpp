@@ -1,0 +1,66 @@
+#pragma once
+// Recovery supervisor: the resilient run loop. run_with_recovery() wraps
+// comm::run around a driver + checkpoint coordinator, and when an attempt
+// dies (a rank threw; survivors unwound via RankFailed), it rolls the job
+// back to the newest globally complete checkpoint and re-launches with
+// bounded retries and exponential backoff. A chaos-killed run recovers to
+// bit-identical final fields: restart re-reads the exact bytes the rollback
+// epoch committed, and the solver is deterministic from any committed state.
+
+#include <functional>
+#include <string>
+
+#include "chaos/chaos.hpp"
+#include "comm/comm.hpp"
+#include "core/config.hpp"
+#include "core/driver.hpp"
+#include "prof/recovery.hpp"
+#include "resilience/checkpoint_coordinator.hpp"
+
+namespace cmtbone::resilience {
+
+struct RecoveryPolicy {
+  /// Re-launches allowed after a failed attempt (total attempts = 1 + this).
+  int max_retries = 3;
+  /// Exponential backoff between attempts.
+  double backoff_initial_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_ms = 1000.0;
+};
+
+struct RecoveryOptions {
+  /// Checkpoint cadence and placement; `checkpoint.directory` is required.
+  CheckpointOptions checkpoint;
+  /// Chaos engine threaded through both the comm runtime (schedule
+  /// perturbation, abort faults) and the step hook (kill_step faults).
+  /// Also installed as the coordinator's corruption source unless
+  /// checkpoint.chaos is already set.
+  chaos::ChaosEngine* chaos = nullptr;
+  /// Initial condition for a cold start (default: driver.default_ic()).
+  core::FieldFunction initial_condition;
+  /// Runs on every rank after the final step of the successful attempt
+  /// (e.g. to capture final fields for comparison). May use collectives.
+  std::function<void(core::Driver&, comm::Comm&)> on_final;
+  /// Optional comm profiler passed through to comm::run.
+  prof::CommProfiler* comm_profiler = nullptr;
+};
+
+struct RecoveryReport {
+  bool completed = false;         // reached nsteps (always true on return;
+                                  // exhausted retries rethrow instead)
+  int attempts = 0;               // comm::run launches, including the first
+  int failures = 0;               // attempts that ended in a failed epoch
+  long long last_restored_epoch = -1;  // -1: final attempt started cold
+  prof::RecoveryStats stats;      // checkpoint / detection / repair costs
+};
+
+/// Run the solver for `nsteps` steps on `nranks` ranks, checkpointing every
+/// checkpoint.interval steps and transparently recovering from failed
+/// attempts. Returns once an attempt completes; rethrows the attempt's
+/// exception once max_retries re-launches are exhausted.
+RecoveryReport run_with_recovery(int nranks, const core::Config& config,
+                                 int nsteps,
+                                 const RecoveryPolicy& policy = {},
+                                 RecoveryOptions options = {});
+
+}  // namespace cmtbone::resilience

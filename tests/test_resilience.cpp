@@ -1,0 +1,639 @@
+// Resilience: checkpoint format hardening (CRC32, torn-write safety, v1
+// compatibility), the coordinated checkpoint/restore protocol (buddy
+// replication, newest-globally-complete selection), failure detection
+// (survivors observe RankFailed, not DeadlockDetected), and the recovery
+// supervisor's bit-identical chaos-kill recovery matrix.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "comm/runtime.hpp"
+#include "core/driver.hpp"
+#include "io/checkpoint.hpp"
+#include "resilience/checkpoint_coordinator.hpp"
+#include "resilience/recovery.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using cmtbone::chaos::ChaosAbortInjected;
+using cmtbone::chaos::ChaosEngine;
+using cmtbone::chaos::ChaosPolicy;
+using cmtbone::comm::Comm;
+using cmtbone::comm::DeadlockDetected;
+using cmtbone::comm::JobAborted;
+using cmtbone::comm::RankFailed;
+using cmtbone::core::Config;
+using cmtbone::core::Driver;
+using cmtbone::resilience::CheckpointCoordinator;
+using cmtbone::resilience::CheckpointOptions;
+using cmtbone::resilience::RecoveryOptions;
+using cmtbone::resilience::RecoveryPolicy;
+using cmtbone::resilience::RecoveryReport;
+using cmtbone::resilience::run_with_recovery;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("cmtbone_res_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+// Small, fast geometry used by every coordinator/recovery test.
+Config tiny_config() {
+  Config cfg;
+  cfg.n = 3;
+  cfg.ex = cfg.ey = cfg.ez = 2;
+  cfg.fixed_dt = 1e-3;
+  return cfg;
+}
+
+// Write a checkpoint for a toy field and return its path and payload.
+struct ToyCheckpoint {
+  std::string path;
+  std::vector<double> field;
+  std::size_t points = 0;
+};
+
+ToyCheckpoint write_toy(const fs::path& dir, int rank = 3,
+                        long long epoch = 12) {
+  ToyCheckpoint toy;
+  toy.points = std::size_t(3) * 3 * 3 * 2;
+  toy.field.resize(toy.points);
+  for (std::size_t i = 0; i < toy.points; ++i) toy.field[i] = 0.25 * double(i);
+  cmtbone::io::CheckpointHeader header;
+  header.n = 3;
+  header.nel = 2;
+  header.nfields = 1;
+  header.steps = 7;
+  header.time = 0.5;
+  header.rank = rank;
+  header.epoch = epoch;
+  const double* fields[] = {toy.field.data()};
+  toy.path = (dir / "toy.chk").string();
+  cmtbone::io::write_checkpoint(
+      toy.path, header, std::span<const double* const>(fields, 1), toy.points);
+  return toy;
+}
+
+// ---- checkpoint format: CRC32, atomic writes, v1 compatibility --------------
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The canonical IEEE CRC32 check value.
+  EXPECT_EQ(cmtbone::io::crc32("123456789", 9), 0xcbf43926u);
+  EXPECT_EQ(cmtbone::io::crc32("", 0), 0u);
+  // Chunked == one-shot via the seed-chaining form.
+  const std::uint32_t first = cmtbone::io::crc32("12345", 5);
+  EXPECT_EQ(cmtbone::io::crc32("6789", 4, first), 0xcbf43926u);
+}
+
+TEST_F(ResilienceTest, V2RoundTripCarriesRankEpochAndLeavesNoTmp) {
+  ToyCheckpoint toy = write_toy(dir_);
+  std::vector<std::vector<double>> loaded;
+  auto h = cmtbone::io::read_checkpoint(toy.path, &loaded);
+  EXPECT_EQ(h.version, 2u);
+  EXPECT_EQ(h.rank, 3);
+  EXPECT_EQ(h.epoch, 12);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0], toy.field);
+  // The atomic-write staging file must not survive a successful write.
+  EXPECT_FALSE(fs::exists(toy.path + ".tmp"));
+}
+
+TEST_F(ResilienceTest, PayloadBitFlipThrowsChecksumMismatchWithContext) {
+  ToyCheckpoint toy = write_toy(dir_, /*rank=*/5, /*epoch=*/42);
+  {
+    std::FILE* f = std::fopen(toy.path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, long(cmtbone::io::kHeaderBytesV2) + 16, SEEK_SET),
+              0);
+    unsigned char b = 0;
+    ASSERT_EQ(std::fread(&b, 1, 1, f), 1u);
+    b ^= 0x01;  // single bit flip
+    ASSERT_EQ(std::fseek(f, long(cmtbone::io::kHeaderBytesV2) + 16, SEEK_SET),
+              0);
+    ASSERT_EQ(std::fwrite(&b, 1, 1, f), 1u);
+    std::fclose(f);
+  }
+  std::vector<std::vector<double>> fields;
+  try {
+    cmtbone::io::read_checkpoint(toy.path, &fields);
+    FAIL() << "corrupt payload was accepted";
+  } catch (const cmtbone::io::ChecksumMismatch& e) {
+    EXPECT_EQ(e.path, toy.path);
+    EXPECT_EQ(e.rank, 5);
+    EXPECT_EQ(e.epoch, 42);
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos);
+  }
+}
+
+TEST_F(ResilienceTest, TruncationMidHeaderAndMidPayloadAreRejected) {
+  ToyCheckpoint toy = write_toy(dir_);
+  const auto full = cmtbone::io::read_file(toy.path);
+  // Mid-v1-header, between the v1 prefix and the v2 trailer, mid-payload.
+  for (std::size_t keep :
+       {std::size_t(17), cmtbone::io::kHeaderBytesV1 + 8,
+        full.size() - 11}) {
+    const std::string path = (dir_ / ("trunc" + std::to_string(keep))).string();
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(full.data()),
+              std::streamsize(keep));
+    out.close();
+    std::vector<std::vector<double>> fields;
+    EXPECT_THROW(cmtbone::io::read_checkpoint(path, &fields),
+                 std::runtime_error)
+        << "accepted a file truncated to " << keep << " bytes";
+  }
+}
+
+TEST_F(ResilienceTest, Version1CheckpointsStillRead) {
+  // Hand-craft a v1 file: the 40-byte prefix (version = 1, no CRC trailer)
+  // followed by the raw payload — what a pre-upgrade writer produced.
+  std::vector<double> payload(8);  // n=2 -> 8 points/element, one element
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = 1.5 * double(i);
+  cmtbone::io::CheckpointHeader h;
+  h.version = 1;
+  h.n = 2;
+  h.nel = 1;
+  h.nfields = 1;
+  h.steps = 9;
+  h.time = 2.25;
+  const std::string path = (dir_ / "v1.chk").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(&h),
+              std::streamsize(cmtbone::io::kHeaderBytesV1));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              std::streamsize(payload.size() * sizeof(double)));
+  }
+  std::vector<std::vector<double>> fields;
+  auto back = cmtbone::io::read_checkpoint(path, &fields);
+  EXPECT_EQ(back.version, 1u);
+  EXPECT_EQ(back.steps, 9);
+  EXPECT_DOUBLE_EQ(back.time, 2.25);
+  // v2 trailer fields keep their "absent" defaults on a v1 read.
+  EXPECT_EQ(back.rank, -1);
+  EXPECT_EQ(back.epoch, -1);
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], payload);
+}
+
+// ---- coordinator: commit, prune, globally-complete selection ----------------
+
+TEST_F(ResilienceTest, CoordinatorWritesPrimariesBuddiesAndPrunesRing) {
+  const std::string dir = dir_.string();
+  cmtbone::comm::run(2, [&](Comm& world) {
+    Driver driver(world, tiny_config());
+    driver.initialize(driver.default_ic());
+    CheckpointOptions opt;
+    opt.directory = dir;
+    opt.interval = 2;
+    CheckpointCoordinator coord(world, opt);
+    driver.run(6, [&](Driver& d) { coord.maybe_checkpoint(d); });
+    EXPECT_EQ(coord.last_epoch(), 6);
+  });
+  // Ring keeps epochs 4 and 6 (epoch 2 pruned), each with a primary per
+  // rank and a buddy replica per rank.
+  for (long long e : {4ll, 6ll}) {
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_TRUE(fs::exists(
+          CheckpointCoordinator::primary_path(dir, "ckpt", e, r)))
+          << "epoch " << e << " rank " << r;
+      EXPECT_TRUE(
+          fs::exists(CheckpointCoordinator::buddy_path(dir, "ckpt", e, r)))
+          << "epoch " << e << " rank " << r;
+    }
+  }
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_FALSE(fs::exists(
+        CheckpointCoordinator::primary_path(dir, "ckpt", 2, r)));
+    EXPECT_FALSE(
+        fs::exists(CheckpointCoordinator::buddy_path(dir, "ckpt", 2, r)));
+  }
+}
+
+// Drive 6 steps with checkpoints at 2,4,6, damage files as `mutilate`
+// dictates, then restore into fresh drivers and report the epoch.
+long long restore_after(const std::string& dir,
+                        const std::function<void()>& mutilate) {
+  cmtbone::comm::run(2, [&](Comm& world) {
+    Driver driver(world, tiny_config());
+    driver.initialize(driver.default_ic());
+    CheckpointOptions opt;
+    opt.directory = dir;
+    opt.interval = 2;
+    CheckpointCoordinator coord(world, opt);
+    driver.run(6, [&](Driver& d) { coord.maybe_checkpoint(d); });
+  });
+  mutilate();
+  std::atomic<long long> restored{-2};
+  cmtbone::comm::run(2, [&](Comm& world) {
+    Driver driver(world, tiny_config());
+    CheckpointOptions opt;
+    opt.directory = dir;
+    CheckpointCoordinator coord(world, opt);
+    const long long epoch = coord.restore_latest(driver);
+    if (epoch >= 0) {
+      EXPECT_EQ(driver.steps_taken(), epoch);
+    }
+    if (world.rank() == 0) restored.store(epoch);
+  });
+  return restored.load();
+}
+
+TEST_F(ResilienceTest, RestorePicksNewestEpochWhenAllFilesIntact) {
+  EXPECT_EQ(restore_after(dir_.string(), [] {}), 6);
+}
+
+TEST_F(ResilienceTest, RestoreFallsBackToBuddyWhenPrimaryCorrupt) {
+  const std::string dir = dir_.string();
+  EXPECT_EQ(restore_after(dir,
+                          [&] {
+                            // Corrupt rank 1's newest primary; its buddy
+                            // replica still vouches for epoch 6.
+                            const std::string p =
+                                CheckpointCoordinator::primary_path(dir, "ckpt",
+                                                                    6, 1);
+                            std::FILE* f = std::fopen(p.c_str(), "r+b");
+                            ASSERT_NE(f, nullptr);
+                            std::fseek(f, 60, SEEK_SET);
+                            unsigned char junk = 0xa5;
+                            std::fwrite(&junk, 1, 1, f);
+                            std::fclose(f);
+                          }),
+            6);
+}
+
+TEST_F(ResilienceTest, RestoreDropsToOlderEpochWhenPrimaryAndBuddyLost) {
+  const std::string dir = dir_.string();
+  EXPECT_EQ(restore_after(dir,
+                          [&] {
+                            // Epoch 6 is not globally complete anymore:
+                            // rank 1 lost both of its copies.
+                            fs::remove(CheckpointCoordinator::primary_path(
+                                dir, "ckpt", 6, 1));
+                            fs::remove(CheckpointCoordinator::buddy_path(
+                                dir, "ckpt", 6, 1));
+                          }),
+            4);
+}
+
+TEST_F(ResilienceTest, RestoreHandlesMixedNewestEpochsAcrossRanks) {
+  const std::string dir = dir_.string();
+  // Rank 0 keeps epoch 6, rank 1's newest surviving epoch is 4 (both its
+  // epoch-6 copies gone): the newest *globally complete* epoch is 4.
+  EXPECT_EQ(restore_after(dir,
+                          [&] {
+                            fs::remove(CheckpointCoordinator::primary_path(
+                                dir, "ckpt", 6, 1));
+                            fs::remove(CheckpointCoordinator::buddy_path(
+                                dir, "ckpt", 6, 1));
+                            // Also corrupt rank 0's epoch-4 primary: rank 0
+                            // must fall back to its buddy for the common
+                            // epoch.
+                            const std::string p =
+                                CheckpointCoordinator::primary_path(dir, "ckpt",
+                                                                    4, 0);
+                            std::FILE* f = std::fopen(p.c_str(), "r+b");
+                            ASSERT_NE(f, nullptr);
+                            std::fseek(f, 70, SEEK_SET);
+                            unsigned char junk = 0x5a;
+                            std::fwrite(&junk, 1, 1, f);
+                            std::fclose(f);
+                          }),
+            4);
+}
+
+TEST_F(ResilienceTest, RestoreReturnsMinusOneWithNoCheckpoints) {
+  std::atomic<long long> restored{-2};
+  const std::string dir = dir_.string();
+  cmtbone::comm::run(2, [&](Comm& world) {
+    Driver driver(world, tiny_config());
+    CheckpointOptions opt;
+    opt.directory = dir;
+    CheckpointCoordinator coord(world, opt);
+    if (world.rank() == 0) restored.store(coord.restore_latest(driver));
+    else coord.restore_latest(driver);
+  });
+  EXPECT_EQ(restored.load(), -1);
+}
+
+// ---- failure detection: survivors see RankFailed, not DeadlockDetected -----
+
+TEST(FailureDetection, SurvivorsObserveRankFailedWithEpochAcrossSeeds) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    ChaosEngine engine(ChaosPolicy::for_seed(seed, 3), 3);
+    cmtbone::prof::RecoveryStats stats;
+    cmtbone::comm::RunOptions options;
+    options.chaos = &engine;
+    options.recovery = &stats;
+    options.epoch = 7;
+
+    std::atomic<int> rank_failed_seen{0};
+    std::atomic<int> wrong_exception{0};
+    try {
+      cmtbone::comm::run(
+          3,
+          [&](Comm& world) {
+            if (world.rank() == 1) {
+              throw std::runtime_error("injected user failure");
+            }
+            try {
+              // Blocks forever: rank 1 never sends. Without failure
+              // propagation this would trip the deadlock detector.
+              long long v = 0;
+              world.recv(std::span<long long>(&v, 1), 1, 5);
+            } catch (const RankFailed& e) {
+              EXPECT_EQ(e.failed_rank, 1);
+              EXPECT_EQ(e.epoch, 7);
+              rank_failed_seen.fetch_add(1);
+              throw;
+            } catch (const DeadlockDetected&) {
+              wrong_exception.fetch_add(1);
+              throw;
+            }
+          },
+          options);
+      FAIL() << "the origin's exception must be rethrown";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("injected user failure"),
+                std::string::npos);
+    }
+    EXPECT_EQ(rank_failed_seen.load(), 2) << "seed " << seed;
+    EXPECT_EQ(wrong_exception.load(), 0) << "seed " << seed;
+    EXPECT_EQ(stats.detections, 2) << "seed " << seed;
+    EXPECT_GE(stats.detection_seconds_max, 0.0);
+    EXPECT_GE(stats.detection_seconds_sum, 0.0);
+  }
+}
+
+TEST(FailureDetection, CollectiveSurvivorsUnwindOnPeerFailure) {
+  // Ranks blocked inside a collective tree (not a plain recv) must also
+  // observe the failure and unwind; nobody may hang or misdiagnose
+  // deadlock.
+  std::atomic<int> unwound{0};
+  try {
+    cmtbone::comm::run(4, [&](Comm& world) {
+      if (world.rank() == 2) throw std::runtime_error("die in collective");
+      try {
+        for (;;) {
+          (void)world.allreduce_one<long long>(1, cmtbone::comm::ReduceOp::kSum);
+        }
+      } catch (const JobAborted&) {
+        unwound.fetch_add(1);
+        throw;
+      }
+    });
+    FAIL() << "expected the origin exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(unwound.load(), 3);
+}
+
+// ---- unwind safety of the split-phase paths under chaos aborts --------------
+
+TEST(UnwindSafety, GsSplitPhaseAndOverlapSurviveAbortSweep) {
+  // Kill rank 1 at a sweep of operation counts while the overlap path has
+  // irecvs posted into gs/face-exchange buffers. Every run must either
+  // complete or unwind cleanly — no use-after-free (ASan job), no hang, no
+  // spurious deadlock verdict. Exercises exec_many_begin/finish and
+  // FaceExchange begin/finish unwind paths.
+  Config cfg = tiny_config();
+  cfg.overlap = true;
+  cfg.face_backend = cmtbone::core::FaceBackend::kGatherScatter;
+  cfg.gs_method = cmtbone::gs::Method::kPairwise;
+  for (long long abort_op : {2ll, 7ll, 19ll, 41ll, 71ll, 113ll}) {
+    ChaosPolicy policy;
+    policy.seed = 77;
+    policy.abort_rank = 1;
+    policy.abort_at_op = abort_op;
+    ChaosEngine engine(policy, 2);
+    cmtbone::comm::RunOptions options;
+    options.chaos = &engine;
+    bool threw = false;
+    try {
+      cmtbone::comm::run(
+          2,
+          [&](Comm& world) {
+            Driver driver(world, cfg);
+            driver.initialize(driver.default_ic());
+            driver.run(3);
+          },
+          options);
+    } catch (const ChaosAbortInjected&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw) << "abort_at_op " << abort_op
+                       << " never fired; widen the sweep";
+  }
+}
+
+// ---- recovery supervisor: bit-identical recovery matrix ---------------------
+
+// Capture every rank's full field state after the last step.
+using FieldDump = std::map<int, std::vector<std::vector<double>>>;
+
+std::function<void(Driver&, Comm&)> capture_into(FieldDump* dump,
+                                                 std::mutex* mu) {
+  return [dump, mu](Driver& d, Comm& world) {
+    std::vector<std::vector<double>> mine(std::size_t(d.nfields()));
+    for (int f = 0; f < d.nfields(); ++f) {
+      auto span = d.field(f);
+      mine[std::size_t(f)].assign(span.begin(), span.end());
+    }
+    std::lock_guard<std::mutex> lock(*mu);
+    (*dump)[world.rank()] = std::move(mine);
+  };
+}
+
+void expect_bit_identical(const FieldDump& a, const FieldDump& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (const auto& [rank, fields] : a) {
+    auto it = b.find(rank);
+    ASSERT_NE(it, b.end()) << label << " rank " << rank;
+    ASSERT_EQ(fields.size(), it->second.size()) << label << " rank " << rank;
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      ASSERT_EQ(fields[f].size(), it->second[f].size())
+          << label << " rank " << rank << " field " << f;
+      for (std::size_t i = 0; i < fields[f].size(); ++i) {
+        // Exact binary equality, not a tolerance: recovery replays the
+        // deterministic solver from committed bytes.
+        ASSERT_EQ(fields[f][i], it->second[f][i])
+            << label << " rank " << rank << " field " << f << " index " << i;
+      }
+    }
+  }
+}
+
+void run_recovery_matrix(int nranks, const fs::path& scratch) {
+  constexpr int kSteps = 9;
+  constexpr int kInterval = 3;
+  struct Variant {
+    const char* name;
+    cmtbone::core::FaceBackend backend;
+    cmtbone::gs::Method method;
+    bool overlap;
+  };
+  const Variant variants[] = {
+      {"direct", cmtbone::core::FaceBackend::kDirect,
+       cmtbone::gs::Method::kPairwise, false},
+      {"direct+overlap", cmtbone::core::FaceBackend::kDirect,
+       cmtbone::gs::Method::kPairwise, true},
+      {"gs-crystal", cmtbone::core::FaceBackend::kGatherScatter,
+       cmtbone::gs::Method::kCrystalRouter, false},
+      {"gs-crystal+overlap", cmtbone::core::FaceBackend::kGatherScatter,
+       cmtbone::gs::Method::kCrystalRouter, true},
+  };
+  for (const Variant& v : variants) {
+    Config cfg = tiny_config();
+    cfg.face_backend = v.backend;
+    cfg.gs_method = v.method;
+    cfg.overlap = v.overlap;
+
+    // Uninterrupted baseline.
+    FieldDump baseline;
+    std::mutex mu;
+    cmtbone::comm::run(nranks, [&](Comm& world) {
+      Driver driver(world, cfg);
+      driver.initialize(driver.default_ic());
+      driver.run(kSteps);
+      capture_into(&baseline, &mu)(driver, world);
+    });
+
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const std::string label = std::string(v.name) + " ranks " +
+                                std::to_string(nranks) + " seed " +
+                                std::to_string(seed);
+      fs::path dir = scratch / (std::string(v.name) + "_s" +
+                                std::to_string(seed));
+      fs::create_directories(dir);
+
+      ChaosPolicy policy = ChaosPolicy::for_seed(seed, nranks);
+      // Seed-derived kill placement sweeps early/mid/late steps and every
+      // rank; one-shot so the recovered re-run completes.
+      policy.kill_rank = int(mix64(seed * 1000003ull) % std::uint64_t(nranks));
+      policy.kill_step = 1 + (long long)(mix64(seed * 7919ull) %
+                                         std::uint64_t(kSteps));
+      ChaosEngine engine(policy, nranks);
+
+      FieldDump recovered;
+      RecoveryPolicy rpolicy;
+      rpolicy.max_retries = 3;
+      rpolicy.backoff_initial_ms = 0.1;
+      RecoveryOptions options;
+      options.checkpoint.directory = dir.string();
+      options.checkpoint.interval = kInterval;
+      options.chaos = &engine;
+      options.on_final = capture_into(&recovered, &mu);
+
+      RecoveryReport report =
+          run_with_recovery(nranks, cfg, kSteps, rpolicy, options);
+      EXPECT_TRUE(report.completed) << label;
+      EXPECT_GE(report.failures, 1) << label << ": kill never fired";
+      EXPECT_GE(report.attempts, 2) << label;
+      EXPECT_GE(report.stats.checkpoints, 1) << label;
+      if (nranks > 1) {
+        EXPECT_GE(report.stats.detections, 1) << label;
+      }
+      expect_bit_identical(baseline, recovered, label);
+      fs::remove_all(dir);
+    }
+  }
+}
+
+TEST_F(ResilienceTest, RecoveryMatrix1Rank) { run_recovery_matrix(1, dir_); }
+TEST_F(ResilienceTest, RecoveryMatrix2Ranks) { run_recovery_matrix(2, dir_); }
+TEST_F(ResilienceTest, RecoveryMatrix4Ranks) { run_recovery_matrix(4, dir_); }
+
+TEST_F(ResilienceTest, RecoverySurvivesCorruptPrimaryViaBuddy) {
+  // Kill after epoch 6 committed, with rank 1's epoch-6 primary corrupted
+  // at write time: recovery must restore epoch 6 from the buddy replica,
+  // not silently fall back further, and still finish bit-identically.
+  Config cfg = tiny_config();
+  FieldDump baseline, recovered;
+  std::mutex mu;
+  cmtbone::comm::run(2, [&](Comm& world) {
+    Driver driver(world, cfg);
+    driver.initialize(driver.default_ic());
+    driver.run(9);
+    capture_into(&baseline, &mu)(driver, world);
+  });
+
+  ChaosPolicy policy;
+  policy.seed = 5;
+  policy.kill_rank = 0;
+  policy.kill_step = 8;
+  policy.corrupt_rank = 1;
+  policy.corrupt_epoch = 6;
+  ChaosEngine engine(policy, 2);
+  RecoveryPolicy rpolicy;
+  rpolicy.backoff_initial_ms = 0.1;
+  RecoveryOptions options;
+  options.checkpoint.directory = dir_.string();
+  options.checkpoint.interval = 3;
+  options.chaos = &engine;
+  options.on_final = capture_into(&recovered, &mu);
+
+  RecoveryReport report = run_with_recovery(2, cfg, 9, rpolicy, options);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.last_restored_epoch, 6);
+  EXPECT_GE(report.stats.restores, 1);
+  expect_bit_identical(baseline, recovered, "corrupt-primary");
+}
+
+TEST_F(ResilienceTest, RecoveryGivesUpAfterMaxRetries) {
+  // abort_at_op (unlike kill_step) is NOT one-shot: the shared engine's op
+  // counter keeps climbing, so every attempt dies and the supervisor must
+  // eventually rethrow.
+  ChaosPolicy policy;
+  policy.seed = 13;
+  policy.abort_rank = 0;
+  policy.abort_at_op = 5;
+  ChaosEngine engine(policy, 2);
+  RecoveryPolicy rpolicy;
+  rpolicy.max_retries = 2;
+  rpolicy.backoff_initial_ms = 0.1;
+  RecoveryOptions options;
+  options.checkpoint.directory = dir_.string();
+  options.checkpoint.interval = 3;
+  options.chaos = &engine;
+  EXPECT_THROW(run_with_recovery(2, tiny_config(), 6, rpolicy, options),
+               ChaosAbortInjected);
+}
+
+TEST_F(ResilienceTest, RecoveryRequiresCheckpointDirectory) {
+  RecoveryOptions options;  // no directory
+  EXPECT_THROW(run_with_recovery(1, tiny_config(), 1, {}, options),
+               std::invalid_argument);
+}
+
+}  // namespace
