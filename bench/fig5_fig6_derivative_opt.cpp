@@ -15,7 +15,9 @@
 //        contraction shapes and writes the timings as JSON.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -35,7 +37,16 @@ struct Measurement {
   unsigned long long instructions = 0;
   unsigned long long cycles = 0;
   bool hw = false;
+  // What `cycles` counts: real core cycles from perf_event when hw is true,
+  // otherwise prof::read_cycles() — TSC ticks on x86 but steady-clock
+  // *nanoseconds* on other platforms. Reported next to every count so the
+  // two are never compared as if they shared a unit.
+  const char* cycle_unit = "";
 };
+
+const char* measured_cycle_unit(bool hw) {
+  return hw ? "hw-cycles" : cmtbone::prof::cycle_unit_name();
+}
 
 Measurement measure(cmtbone::kernels::GradVariant v, int dir, const double* d,
                     const double* u, double* out, int n, int nel, int steps) {
@@ -59,6 +70,7 @@ Measurement measure(cmtbone::kernels::GradVariant v, int dir, const double* d,
   auto c1 = cmtbone::prof::read_cycles();
   m.seconds = t.seconds();
   m.hw = hw.available();
+  m.cycle_unit = measured_cycle_unit(m.hw);
   if (m.hw) {
     m.instructions = hw.instructions();
     m.cycles = hw.cycles();
@@ -92,10 +104,14 @@ int run_mxm_json_sweep(const std::string& path) {
                "  \"shapes\": \"per element: dudr (NxN * NxN^2) + dudt "
                "(N^2xN * NxN)\",\n"
                "  \"timing\": \"best of 7 samples, 20 sweeps per sample\",\n"
-               "  \"results\": [\n");
+               "  \"cycle_unit\": \"%s\",\n"
+               "  \"results\": [\n",
+               cmtbone::prof::cycle_unit_name());
 
   std::printf("=== fixed-N mxm dispatch vs runtime mxm (N sweep) ===\n");
   bool first = true;
+  double log_speedup_sum = 0.0;
+  int sweep_points = 0;
   for (int n = 5; n <= 25; ++n) {
     const int nel = std::max(4, 4000 / (n * n));
     const std::size_t epts = std::size_t(n) * n * n;
@@ -148,10 +164,26 @@ int run_mxm_json_sweep(const std::string& path) {
                  first ? "" : ",\n", n, nel, runtime_s, fixed_s,
                  gflop / runtime_s, gflop / fixed_s, runtime_s / fixed_s);
     first = false;
+    log_speedup_sum += std::log(runtime_s / fixed_s);
+    ++sweep_points;
   }
-  std::fprintf(out, "\n  ]\n}\n");
+  const double geomean = std::exp(log_speedup_sum / sweep_points);
+  std::fprintf(out, "\n  ],\n  \"geomean_speedup\": %.3f\n}\n", geomean);
   std::fclose(out);
+  std::printf("geomean fixed-N speedup over runtime-N: %.2fx\n", geomean);
   std::printf("(json written to %s)\n", path.c_str());
+  // The fixed-N dispatch exists purely as an optimization; if it ever loses
+  // to the runtime-N kernel across the sweep, the build is misconfigured
+  // (e.g. the dispatch table compiled without its intended flags) and the
+  // numbers would silently misrepresent §V. Fail loudly instead.
+  if (geomean < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: fixed-N mxm is slower than runtime-N mxm "
+                 "(geomean %.3fx < 1.0) — the specialized kernels regressed "
+                 "or the build flags are wrong\n",
+                 geomean);
+    return 1;
+  }
   return 0;
 }
 
@@ -197,14 +229,19 @@ int main(int argc, char** argv) {
                          u.data(), out.data(), n, nel, steps);
   }
 
+  const char* unit = measured_cycle_unit(opt[0].hw);
   std::printf(
       "=== Figs. 5/6: derivative kernel loop transformations ===\n"
-      "Nel=%d, N=%d, %d invocations per kernel; counters: %s\n\n",
+      "Nel=%d, N=%d, %d invocations per kernel; counters: %s\n"
+      "cycle unit: %s\n\n",
       nel, n, steps,
-      opt[0].hw ? "hardware (perf_event)" : "analytic model + TSC cycles");
+      opt[0].hw ? "hardware (perf_event)"
+                : "analytic model + prof::read_cycles()",
+      unit);
 
+  const std::string cycles_col = std::string("Total Cycles (") + unit + ")";
   util::Table with({"Derivatives", "Runtime (seconds)", "Total instructions",
-                    "Total Cycles"});
+                    cycles_col});
   with.set_title("Fig. 5: with loop transformations (fused + unrolled)");
   for (int dir : {2, 0, 1}) {  // paper order: dudt, dudr, duds
     with.add_row({names[dir], util::Table::num(opt[dir].seconds, 3),
@@ -215,7 +252,7 @@ int main(int argc, char** argv) {
   cmtbone::bench::write_csv(csv_dir, "fig5_with_transformations", with);
 
   util::Table without({"Derivatives", "Runtime (seconds)", "Total instructions",
-                       "Total Cycles"});
+                       cycles_col});
   without.set_title("Fig. 6: basic implementation (no loop transformations)");
   for (int dir : {2, 0, 1}) {
     without.add_row({names[dir], util::Table::num(basic[dir].seconds, 3),

@@ -25,6 +25,7 @@
 #include "comm/request.hpp"
 #include "comm/universe.hpp"
 #include "prof/timer.hpp"
+#include "util/bytes.hpp"
 
 namespace cmtbone::comm {
 
@@ -305,10 +306,8 @@ std::vector<T> Comm::gather(std::span<const T> mine, int root) {
     reqs.reserve(p - 1);
     for (int r = 0; r < p; ++r) {
       if (r == rank_) {
-        if (!mine.empty()) {
-          std::memcpy(out.data() + std::size_t(r) * mine.size(), mine.data(),
-                      mine.size_bytes());
-        }
+        util::copy_bytes(out.data() + std::size_t(r) * mine.size(),
+                         mine.data(), mine.size_bytes());
       } else {
         reqs.push_back(post_recv_raw(out.data() + std::size_t(r) * mine.size(),
                                      mine.size_bytes(), r, tag));
@@ -347,9 +346,8 @@ std::vector<T> Comm::gatherv(std::span<const T> mine, int root,
     std::vector<Request> reqs;
     for (int r = 0; r < p; ++r) {
       if (r == rank_) {
-        if (!mine.empty()) {
-          std::memcpy(out.data() + offset[r], mine.data(), mine.size_bytes());
-        }
+        util::copy_bytes(out.data() + offset[r], mine.data(),
+                         mine.size_bytes());
       } else if (cnt[r] > 0) {
         reqs.push_back(post_recv_raw(out.data() + offset[r],
                                      std::size_t(cnt[r]) * sizeof(T), r,
@@ -443,10 +441,8 @@ std::vector<T> Comm::alltoallv(std::span<const T> send,
   reqs.reserve(p - 1);
   for (int r = 0; r < p; ++r) {
     if (r == rank_) {
-      if (rcnt[r] > 0) {
-        std::memcpy(out.data() + roff[r], send.data() + soff[r],
-                    std::size_t(rcnt[r]) * sizeof(T));
-      }
+      util::copy_bytes(out.data() + roff[r], send.data() + soff[r],
+                       std::size_t(rcnt[r]) * sizeof(T));
     } else if (rcnt[r] > 0) {
       reqs.push_back(post_recv_raw(out.data() + roff[r],
                                    std::size_t(rcnt[r]) * sizeof(T), r,

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <set>
 #include <stdexcept>
+#include "util/bytes.hpp"
 
 namespace cmtbone::comm {
 
@@ -19,9 +20,7 @@ void Mailbox::complete_locked(RequestState& rs, const Envelope& env) {
         " B < message " + std::to_string(env.payload.size()) + " B from src " +
         std::to_string(env.src) + ", tag " + std::to_string(env.tag) + ")");
   }
-  if (!env.payload.empty()) {
-    std::memcpy(rs.buf, env.payload.data(), env.payload.size());
-  }
+  util::copy_bytes(rs.buf, env.payload.data(), env.payload.size());
   rs.status.source = env.src;
   rs.status.tag = env.tag;
   rs.status.bytes = env.payload.size();

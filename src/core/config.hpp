@@ -81,6 +81,15 @@ struct Config {
   /// bit-identical to the blocking path.
   bool overlap = false;
 
+  /// Intra-rank element parallelism: how many threads (including the rank
+  /// thread itself) advance this rank's element loops — the volume flux
+  /// divergence, the surface numerical flux, and face pack/unpack — through
+  /// the shared parallel::Pool. Elements are independent, so results are
+  /// bit-identical for every value. 0 resolves from the
+  /// CMTBONE_THREADS_PER_RANK environment variable (default 1 = serial,
+  /// exactly the pre-pool code path).
+  int threads_per_rank = 0;
+
   /// Apply direct-stiffness averaging (gs_op over shared GLL points, then
   /// divide by multiplicity) after each step — the gs_op_ kernel of Fig. 4.
   bool use_dssum = true;

@@ -13,6 +13,7 @@
 #include "kernels/tensor.hpp"
 #include "mesh/face_numbering.hpp"
 #include "mesh/numbering.hpp"
+#include "parallel/parallel.hpp"
 #include "prof/callprof.hpp"
 #include "prof/timer.hpp"
 
@@ -97,8 +98,10 @@ Driver::Driver(comm::Comm& comm, const Config& config)
       config_(config),
       spec_(make_spec(config, comm.size())),
       part_(spec_, comm.rank()),
-      ops_(sem::Operators::build(config.n)) {
+      ops_(sem::Operators::build(config.n)),
+      threads_(parallel::resolve_threads(config.threads_per_rank)) {
   exchange_ = std::make_unique<mesh::FaceExchange>(comm, part_);
+  exchange_->set_threads(threads_);
 
   {
     prof::ScopedRegion region("gs_setup");
@@ -352,6 +355,20 @@ void Driver::volume_term(const std::vector<std::vector<double>>& u,
                          std::span<const int> elems) {
   if (elems.empty()) return;
   prof::ScopedRegion ax_region("ax_ (flux divergence)");
+  // Elements are independent — each chunk writes only its own elements'
+  // slices of rhs/flux_/grad_scratch_ — so splitting the list across pool
+  // threads leaves every bit of the result unchanged.
+  parallel::for_elements(
+      elems.size(), parallel::default_grain(elems.size(), threads_), threads_,
+      [&](std::size_t lo, std::size_t hi) {
+        volume_term_range(u, rhs, elems, lo, hi);
+      });
+}
+
+void Driver::volume_term_range(const std::vector<std::vector<double>>& u,
+                               std::vector<std::vector<double>>& rhs,
+                               std::span<const int> elems, std::size_t lo,
+                               std::size_t hi) {
   const int n = config_.n;
   const int nf = nfields();
   const double gamma = config_.gamma;
@@ -361,10 +378,12 @@ void Driver::volume_term(const std::vector<std::vector<double>>& u,
   // blocking path) keeps its single bulk kernel call per direction and the
   // interior/boundary lists batch their x-rows. Per-element results do not
   // depend on the batching — the kernels treat elements independently.
-  std::size_t i = 0;
-  while (i < elems.size()) {
+  std::size_t i = lo;
+  while (i < hi) {
     std::size_t j = i + 1;
-    while (j < elems.size() && elems[j] == elems[j - 1] + 1) ++j;
+    while (j < hi && elems[j] == elems[j - 1] + 1) ++j;
+    // (runs never merge across chunk boundaries; per-element bits are
+    // batching-invariant, so the split is harmless)
     const int e0 = elems[i];
     const int m = int(j - i);
     const std::size_t base = std::size_t(e0) * epts;
@@ -492,6 +511,18 @@ void Driver::surface_term(std::vector<std::vector<double>>& rhs,
                           std::span<const int> elems) {
   if (elems.empty()) return;
   prof::ScopedRegion nfx_region("numerical_flux");
+  // Each element's flux lift touches only that element's rhs points, and
+  // myfaces_/nbrfaces_ are read-only here — element-parallel, bit-stable.
+  parallel::for_elements(
+      elems.size(), parallel::default_grain(elems.size(), threads_), threads_,
+      [&](std::size_t lo, std::size_t hi) {
+        surface_term_range(rhs, elems, lo, hi);
+      });
+}
+
+void Driver::surface_term_range(std::vector<std::vector<double>>& rhs,
+                                std::span<const int> elems, std::size_t lo,
+                                std::size_t hi) {
   const int n = config_.n;
   const int nf = nfields();
   const double gamma = config_.gamma;
@@ -500,7 +531,8 @@ void Driver::surface_term(std::vector<std::vector<double>>& rhs,
   const double w_edge = w[0];  // == w[n-1]
   const std::size_t elem = std::size_t(n) * n * n;
 
-  for (int e : elems) {
+  for (std::size_t ei = lo; ei < hi; ++ei) {
+    const int e = elems[ei];
     for (int face = 0; face < mesh::kFacesPerElement; ++face) {
       const int axis = mesh::face_axis(face);
       const double sign = mesh::face_side(face) == 0 ? -1.0 : 1.0;

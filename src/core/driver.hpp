@@ -135,11 +135,21 @@ class Driver {
   // floating-point operation sequence does not depend on how the element
   // list is split (each point belongs to exactly one element), which is
   // what keeps the overlap path bit-identical.
+  // The _range forms process elems[lo, hi) and are what the worker-pool
+  // threads execute; splitting a list into ranges changes batching only,
+  // never a per-element bit (see src/parallel/parallel.hpp).
   void volume_term(const std::vector<std::vector<double>>& u,
                    std::vector<std::vector<double>>& rhs,
                    std::span<const int> elems);
+  void volume_term_range(const std::vector<std::vector<double>>& u,
+                         std::vector<std::vector<double>>& rhs,
+                         std::span<const int> elems, std::size_t lo,
+                         std::size_t hi);
   void surface_term(std::vector<std::vector<double>>& rhs,
                     std::span<const int> elems);
+  void surface_term_range(std::vector<std::vector<double>>& rhs,
+                          std::span<const int> elems, std::size_t lo,
+                          std::size_t hi);
   void dealias_term(const std::vector<std::vector<double>>& u);
   void particle_source(std::vector<std::vector<double>>& rhs);
   void pack_faces(const std::vector<std::vector<double>>& u);
@@ -155,6 +165,7 @@ class Driver {
   mesh::BoxSpec spec_;
   mesh::Partition part_;
   sem::Operators ops_;
+  int threads_ = 1;  // resolved threads_per_rank (config knob or env)
   mesh::ElementClasses classes_;
   std::vector<int> all_elems_;  // 0..nel-1, the blocking path's element list
   prof::OverlapStats overlap_stats_;

@@ -1,6 +1,7 @@
 #include "gs/crystal.hpp"
 
 #include <cstring>
+#include "util/bytes.hpp"
 
 namespace cmtbone::gs {
 
@@ -18,30 +19,28 @@ std::vector<std::byte> pack(const Pool& ship, std::size_t record_bytes) {
   const int count = int(ship.dest.size());
   std::vector<std::byte> buf(sizeof(int) + count * sizeof(int) +
                              count * record_bytes);
-  std::memcpy(buf.data(), &count, sizeof(int));
-  if (count > 0) {
-    std::memcpy(buf.data() + sizeof(int), ship.dest.data(),
-                count * sizeof(int));
-    std::memcpy(buf.data() + sizeof(int) + count * sizeof(int),
-                ship.data.data(), count * record_bytes);
-  }
+  util::copy_bytes(buf.data(), &count, sizeof(int));
+  util::copy_bytes(buf.data() + sizeof(int), ship.dest.data(),
+                   count * sizeof(int));
+  util::copy_bytes(buf.data() + sizeof(int) + count * sizeof(int),
+                   ship.data.data(), count * record_bytes);
   return buf;
 }
 
 void unpack_into(const std::vector<std::byte>& buf, std::size_t record_bytes,
                  Pool* pool) {
   int count = 0;
-  std::memcpy(&count, buf.data(), sizeof(int));
+  util::copy_bytes(&count, buf.data(), sizeof(int));
   if (count <= 0) return;
   std::size_t old = pool->dest.size();
   pool->dest.resize(old + count);
-  std::memcpy(pool->dest.data() + old, buf.data() + sizeof(int),
-              count * sizeof(int));
+  util::copy_bytes(pool->dest.data() + old, buf.data() + sizeof(int),
+                   count * sizeof(int));
   std::size_t old_bytes = pool->data.size();
   pool->data.resize(old_bytes + count * record_bytes);
-  std::memcpy(pool->data.data() + old_bytes,
-              buf.data() + sizeof(int) + count * sizeof(int),
-              count * record_bytes);
+  util::copy_bytes(pool->data.data() + old_bytes,
+                   buf.data() + sizeof(int) + count * sizeof(int),
+                   count * record_bytes);
 }
 }  // namespace
 
@@ -73,8 +72,8 @@ std::vector<std::byte> CrystalRouter::route(std::span<const std::byte> records,
       side.dest.push_back(pool.dest[i]);
       std::size_t old = side.data.size();
       side.data.resize(old + record_bytes);
-      std::memcpy(side.data.data() + old, pool.data.data() + i * record_bytes,
-                  record_bytes);
+      util::copy_bytes(side.data.data() + old,
+                       pool.data.data() + i * record_bytes, record_bytes);
     }
 
     if (lower) {

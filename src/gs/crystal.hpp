@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "comm/comm.hpp"
+#include "util/bytes.hpp"
 
 namespace cmtbone::gs {
 
@@ -43,7 +44,7 @@ class CrystalRouter {
             records.size_bytes()),
         dest, sizeof(T));
     std::vector<T> out(bytes.size() / sizeof(T));
-    if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    util::copy_bytes(out.data(), bytes.data(), bytes.size());
     return out;
   }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "prof/timer.hpp"
+#include "util/bytes.hpp"
 
 namespace cmtbone::gs {
 
@@ -299,13 +300,14 @@ void append_record(std::vector<std::byte>* buf, long long id, const T* values,
                    std::size_t nf) {
   std::size_t old = buf->size();
   buf->resize(old + sizeof(long long) + nf * sizeof(T));
-  std::memcpy(buf->data() + old, &id, sizeof(long long));
-  std::memcpy(buf->data() + old + sizeof(long long), values, nf * sizeof(T));
+  util::copy_bytes(buf->data() + old, &id, sizeof(long long));
+  util::copy_bytes(buf->data() + old + sizeof(long long), values,
+                   nf * sizeof(T));
 }
 
 inline long long record_id(const std::byte* rec) {
   long long id;
-  std::memcpy(&id, rec, sizeof(long long));
+  util::copy_bytes(&id, rec, sizeof(long long));
   return id;
 }
 
@@ -366,7 +368,7 @@ void GatherScatter::exec_crystal(std::vector<T>& unique_values, int nfields,
         topo_.shared.begin(), topo_.shared.end(), record_id(rec),
         [](const SharedId& a, long long id) { return a.id < id; });
     T* u = unique_values.data() + it->unique_index * nf;
-    std::memcpy(u, record_values<T>(rec), nf * sizeof(T));
+    util::copy_bytes(u, record_values<T>(rec), nf * sizeof(T));
   }
 }
 
@@ -382,14 +384,15 @@ void GatherScatter::exec_allreduce(std::vector<T>& unique_values, int nfields,
   // are never read back. This is what makes the method scale so poorly.
   std::vector<T> big(std::size_t(topo_.total_global) * nf, identity<T>(op));
   for (const SharedId& sh : topo_.shared) {
-    std::memcpy(big.data() + std::size_t(sh.shared_index) * nf,
-                unique_values.data() + sh.unique_index * nf, nf * sizeof(T));
+    util::copy_bytes(big.data() + std::size_t(sh.shared_index) * nf,
+                     unique_values.data() + sh.unique_index * nf,
+                     nf * sizeof(T));
   }
   comm_->allreduce(std::span<T>(big), op);
   for (const SharedId& sh : topo_.shared) {
-    std::memcpy(unique_values.data() + sh.unique_index * nf,
-                big.data() + std::size_t(sh.shared_index) * nf,
-                nf * sizeof(T));
+    util::copy_bytes(unique_values.data() + sh.unique_index * nf,
+                     big.data() + std::size_t(sh.shared_index) * nf,
+                     nf * sizeof(T));
   }
 }
 

@@ -9,6 +9,7 @@
 
 #ifndef _WIN32
 #include <unistd.h>
+#include "util/bytes.hpp"
 #endif
 
 namespace cmtbone::io {
@@ -81,11 +82,11 @@ std::vector<std::byte> serialize_checkpoint(
   std::vector<std::byte> out(kHeaderBytesV2 + payload);
   std::byte* dst = out.data() + kHeaderBytesV2;
   for (const double* field : fields) {
-    std::memcpy(dst, field, points * sizeof(double));
+    util::copy_bytes(dst, field, points * sizeof(double));
     dst += points * sizeof(double);
   }
   h.payload_crc = crc32(out.data() + kHeaderBytesV2, payload);
-  std::memcpy(out.data(), &h, kHeaderBytesV2);
+  util::copy_bytes(out.data(), &h, kHeaderBytesV2);
   return out;
 }
 
@@ -94,12 +95,12 @@ CheckpointHeader parse_checkpoint(std::span<const std::byte> bytes,
                                   std::vector<std::vector<double>>* fields) {
   if (bytes.size() < kHeaderBytesV1) fail(path, "truncated header");
   CheckpointHeader header;
-  std::memcpy(static_cast<void*>(&header), bytes.data(), kHeaderBytesV1);
+  util::copy_bytes(static_cast<void*>(&header), bytes.data(), kHeaderBytesV1);
   check_plausible(header, path);
   std::size_t header_bytes = kHeaderBytesV1;
   if (header.version == 2) {
     if (bytes.size() < kHeaderBytesV2) fail(path, "truncated header");
-    std::memcpy(static_cast<void*>(&header), bytes.data(), kHeaderBytesV2);
+    util::copy_bytes(static_cast<void*>(&header), bytes.data(), kHeaderBytesV2);
     header_bytes = kHeaderBytesV2;
   }
   const std::size_t points =
@@ -120,7 +121,7 @@ CheckpointHeader parse_checkpoint(std::span<const std::byte> bytes,
   if (fields != nullptr) {
     fields->assign(header.nfields, std::vector<double>(points));
     for (auto& field : *fields) {
-      std::memcpy(field.data(), src, points * sizeof(double));
+      util::copy_bytes(field.data(), src, points * sizeof(double));
       src += points * sizeof(double);
     }
   }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cstddef>
-#include <cstring>
+
+#include "parallel/parallel.hpp"
+#include "util/bytes.hpp"
 
 namespace cmtbone::mesh {
 
@@ -110,18 +112,25 @@ void FaceExchange::begin(const double* myfaces, double* nbrfaces,
     // Pack each outgoing plane directly into the byte payload that becomes
     // the in-flight message — isend_payload moves it into the runtime, so
     // the plane is copied exactly once between `myfaces` and the receiver.
+    // The (field, element) slots are packed by the worker pool; every slot
+    // lands at its fixed offset regardless of which thread copies it.
     for (const DirPlan& plan : plans_) {
-      std::vector<std::byte> payload(plan.elems.size() * fpts * nfields *
-                                     sizeof(double));
+      const std::size_t nelems = plan.elems.size();
+      std::vector<std::byte> payload(nelems * fpts * nfields * sizeof(double));
       std::byte* out = payload.data();
-      for (int fd = 0; fd < nfields; ++fd) {
-        const double* field = myfaces + fd * field_stride;
-        for (int e : plan.elems) {
-          std::memcpy(out, field + face_offset(plan.dir, e, n_),
-                      fpts * sizeof(double));
-          out += fpts * sizeof(double);
-        }
-      }
+      const std::size_t slots = std::size_t(nfields) * nelems;
+      parallel::for_elements(
+          slots, parallel::default_grain(slots, threads_), threads_,
+          [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t s = lo; s < hi; ++s) {
+              const std::size_t fd = s / nelems;
+              const int e = plan.elems[s % nelems];
+              const double* field = myfaces + fd * field_stride;
+              util::copy_bytes(out + s * fpts * sizeof(double),
+                               field + face_offset(plan.dir, e, n_),
+                               fpts * sizeof(double));
+            }
+          });
       comm_->isend_payload(std::move(payload), plan.partner,
                            kTagBase + plan.dir);
     }
@@ -131,16 +140,24 @@ void FaceExchange::begin(const double* myfaces, double* nbrfaces,
   }
 
   // Interior (and physical-boundary mirror) copies happen inside begin() so
-  // every locally-paired face is usable while the remote planes fly.
-  for (int fd = 0; fd < nfields; ++fd) {
-    const double* src_field = myfaces + fd * field_stride;
-    double* dst_field = nbrfaces + fd * field_stride;
-    for (const LocalCopy& c : local_) {
-      std::memcpy(dst_field + face_offset(c.dst_f, c.dst_e, n_),
-                  src_field + face_offset(c.src_f, c.src_e, n_),
-                  fpts * sizeof(double));
-    }
-  }
+  // every locally-paired face is usable while the remote planes fly. Each
+  // (element, face) is the destination of exactly one copy, so splitting the
+  // flattened (field, copy) list across threads races nothing.
+  const std::size_t ncopies = local_.size();
+  const std::size_t slots = std::size_t(nfields) * ncopies;
+  parallel::for_elements(
+      slots, parallel::default_grain(slots, threads_), threads_,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) {
+          const std::size_t fd = s / ncopies;
+          const LocalCopy& c = local_[s % ncopies];
+          const double* src_field = myfaces + fd * field_stride;
+          double* dst_field = nbrfaces + fd * field_stride;
+          util::copy_bytes(dst_field + face_offset(c.dst_f, c.dst_e, n_),
+                           src_field + face_offset(c.src_f, c.src_e, n_),
+                           fpts * sizeof(double));
+        }
+      });
 }
 
 void FaceExchange::finish() {
@@ -163,14 +180,19 @@ void FaceExchange::finish() {
   for (std::size_t p = 0; p < plans_.size(); ++p) {
     const DirPlan& plan = plans_[p];
     const double* in = recvbuf_[p].data();
-    for (int fd = 0; fd < nfields; ++fd) {
-      double* field = nbrfaces + fd * field_stride;
-      for (int e : plan.elems) {
-        std::memcpy(field + face_offset(plan.dir, e, n_), in,
-                    fpts * sizeof(double));
-        in += fpts;
-      }
-    }
+    const std::size_t nelems = plan.elems.size();
+    const std::size_t slots = std::size_t(nfields) * nelems;
+    parallel::for_elements(
+        slots, parallel::default_grain(slots, threads_), threads_,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t s = lo; s < hi; ++s) {
+            const std::size_t fd = s / nelems;
+            const int e = plan.elems[s % nelems];
+            double* field = nbrfaces + fd * field_stride;
+            util::copy_bytes(field + face_offset(plan.dir, e, n_),
+                             in + s * fpts, fpts * sizeof(double));
+          }
+        });
   }
 
   recv_reqs_.clear();

@@ -58,6 +58,11 @@ class FaceExchange {
   /// Number of distinct remote partners (<= 6 on a structured partition).
   int remote_partner_count() const;
 
+  /// Threads (including the caller) used for the pack/local-copy/unpack
+  /// loops. Each (field, face) slot is copied exactly once to a disjoint
+  /// destination, so the copies are bit-identical for every value.
+  void set_threads(int threads) { threads_ = threads < 1 ? 1 : threads; }
+
  private:
   // Withdraw posted receives and clear the in-flight state (unwind path).
   void abandon_exchange();
@@ -76,6 +81,7 @@ class FaceExchange {
   comm::Comm* comm_;
   int n_ = 0;
   int nel_ = 0;
+  int threads_ = 1;
   std::vector<LocalCopy> local_;
   std::vector<DirPlan> plans_;
   // Send planes are packed straight into byte payloads that are moved into

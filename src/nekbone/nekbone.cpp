@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "mesh/numbering.hpp"
+#include "parallel/parallel.hpp"
 #include "prof/callprof.hpp"
 
 namespace cmtbone::nekbone {
@@ -40,7 +41,8 @@ Nekbone::Nekbone(comm::Comm& comm, const NekboneConfig& config)
       config_(config),
       spec_(make_spec(config, comm.size())),
       part_(spec_, comm.rank()),
-      ops_(sem::Operators::build(config.n)) {
+      ops_(sem::Operators::build(config.n)),
+      threads_(parallel::resolve_threads(config.threads_per_rank)) {
   {
     prof::ScopedRegion region("gs_setup");
     std::vector<long long> ids = mesh::global_gll_ids(part_);
@@ -101,16 +103,33 @@ std::array<double, 3> Nekbone::node_coords(int e, int i, int j, int k) const {
 
 void Nekbone::local_ax(const double* u, double* w) {
   prof::ScopedRegion region("ax_ (local stiffness)");
-  const int n = config_.n;
-  const int nel = part_.nel();
+  const std::size_t nel = std::size_t(part_.nel());
+  parallel::for_elements(nel, parallel::default_grain(nel, threads_), threads_,
+                         [&](std::size_t e0, std::size_t e1) {
+                           local_ax_range(u, w, e0, e1);
+                         });
+}
 
-  // Gradients in reference coordinates.
-  kernels::grad_r(config_.variant, ops_.d.data(), u, ur_.data(), n, nel);
-  kernels::grad_s(config_.variant, ops_.d.data(), u, us_.data(), n, nel);
-  kernels::grad_t(config_.variant, ops_.d.data(), u, ut_.data(), n, nel);
+void Nekbone::local_ax_range(const double* u, double* w, std::size_t e0,
+                             std::size_t e1) {
+  const int n = config_.n;
+  const int m = int(e1 - e0);
+  const std::size_t epts = std::size_t(n) * n * n;
+  const std::size_t off = e0 * epts;
+  const std::size_t end = e1 * epts;
+
+  // Gradients in reference coordinates for this chunk's elements only; the
+  // kernels process elements one at a time, so handing them a sub-range
+  // produces the same per-point contractions as the full-array call.
+  kernels::grad_r(config_.variant, ops_.d.data(), u + off, ur_.data() + off, n,
+                  m);
+  kernels::grad_s(config_.variant, ops_.d.data(), u + off, us_.data() + off, n,
+                  m);
+  kernels::grad_t(config_.variant, ops_.d.data(), u + off, ut_.data() + off, n,
+                  m);
 
   // Scale by the diagonal geometric factors.
-  for (std::size_t p = 0; p < pts_; ++p) {
+  for (std::size_t p = off; p < end; ++p) {
     ur_[p] *= geo_rr_[p];
     us_[p] *= geo_ss_[p];
     ut_[p] *= geo_tt_[p];
@@ -118,13 +137,14 @@ void Nekbone::local_ax(const double* u, double* w) {
 
   // Transpose gradients back: w = D_r^T ur + D_s^T us + D_t^T ut. Applying
   // grad with D^T is exactly the transpose contraction.
-  kernels::grad_r(config_.variant, ops_.dt.data(), ur_.data(), w, n, nel);
-  kernels::grad_s(config_.variant, ops_.dt.data(), us_.data(), scratch_.data(),
-                  n, nel);
-  for (std::size_t p = 0; p < pts_; ++p) w[p] += scratch_[p];
-  kernels::grad_t(config_.variant, ops_.dt.data(), ut_.data(), scratch_.data(),
-                  n, nel);
-  for (std::size_t p = 0; p < pts_; ++p) {
+  kernels::grad_r(config_.variant, ops_.dt.data(), ur_.data() + off, w + off, n,
+                  m);
+  kernels::grad_s(config_.variant, ops_.dt.data(), us_.data() + off,
+                  scratch_.data() + off, n, m);
+  for (std::size_t p = off; p < end; ++p) w[p] += scratch_[p];
+  kernels::grad_t(config_.variant, ops_.dt.data(), ut_.data() + off,
+                  scratch_.data() + off, n, m);
+  for (std::size_t p = off; p < end; ++p) {
     w[p] = config_.h1 * (w[p] + scratch_[p]) + config_.h2 * mass_[p] * u[p];
   }
 }

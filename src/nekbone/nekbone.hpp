@@ -33,6 +33,10 @@ struct NekboneConfig {
   double h2 = 0.1;   // mass coefficient (> 0 keeps A SPD on a periodic box)
   gs::Method gs_method = gs::Method::kPairwise;
   kernels::GradVariant variant = kernels::GradVariant::kFusedUnrolled;
+  /// Threads (including the caller) for the local stiffness operator's
+  /// element loops. Elements are independent, so any value is bit-identical.
+  /// 0 resolves from CMTBONE_THREADS_PER_RANK (default 1 = serial).
+  int threads_per_rank = 0;
 };
 
 class Nekbone {
@@ -77,12 +81,18 @@ class Nekbone {
 
  private:
   void local_ax(const double* u, double* w);
+  // Stiffness + mass application for elements [e0, e1): the worker-pool
+  // chunk body. Per-point arithmetic is independent across elements, so
+  // chunking never changes a bit.
+  void local_ax_range(const double* u, double* w, std::size_t e0,
+                      std::size_t e1);
 
   comm::Comm* comm_;
   NekboneConfig config_;
   mesh::BoxSpec spec_;
   mesh::Partition part_;
   sem::Operators ops_;
+  int threads_ = 1;  // resolved threads_per_rank
   std::unique_ptr<gs::GatherScatter> gs_;
 
   std::size_t pts_ = 0;

@@ -1,0 +1,138 @@
+#include "parallel/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace cmtbone::parallel {
+
+namespace {
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  if (end == v || parsed < 0 || parsed > 1 << 16) return fallback;
+  return int(parsed);
+}
+
+int default_worker_count() {
+  int override = env_int("CMTBONE_POOL_WORKERS", -1);
+  if (override >= 0) return override;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 2;  // unknown: assume a small machine, stay modest
+  // Rank threads participate in their own regions, so budget helpers at
+  // hardware_concurrency - 1; keep at least one so threads_per_rank > 1
+  // genuinely crosses threads (determinism/TSan coverage) even on one core.
+  return std::max(1, int(hw) - 1);
+}
+}  // namespace
+
+Pool& Pool::global() {
+  static Pool pool(default_worker_count());
+  return pool;
+}
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  int env = env_int("CMTBONE_THREADS_PER_RANK", 0);
+  return env > 0 ? env : 1;
+}
+
+Pool::Pool(int workers) {
+  threads_.reserve(std::size_t(std::max(0, workers)));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Pool::~Pool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Pool::run_chunks(Region& region) {
+  for (;;) {
+    const std::size_t c = region.next.fetch_add(1);
+    if (c >= region.nchunks) return;
+    const std::size_t begin = c * region.grain;
+    const std::size_t end = std::min(region.count, begin + region.grain);
+    try {
+      (*region.fn)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!region.error) region.error = std::current_exception();
+      // Stop issuing further chunks; the partial results are about to be
+      // discarded by the rethrow on the submitting thread anyway.
+      region.next.store(region.nchunks);
+    }
+  }
+}
+
+void Pool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    Region* region = queue_.front();
+    if (--region->helpers_wanted <= 0) queue_.pop_front();
+    ++region->running;
+    lock.unlock();
+    run_chunks(*region);
+    lock.lock();
+    if (--region->running == 0) done_cv_.notify_all();
+  }
+}
+
+void Pool::for_range(std::size_t count, std::size_t grain, int threads,
+                     const RangeFn& fn) {
+  if (count == 0) return;
+  if (grain == 0) grain = 1;
+
+  Region region;
+  region.count = count;
+  region.grain = grain;
+  region.nchunks = (count + grain - 1) / grain;
+  region.fn = &fn;
+
+  // Budget: at most threads-1 helpers, never more than the pool has, and
+  // never more helpers than there are chunks beyond the caller's first.
+  int helpers = std::min(threads - 1, worker_count());
+  if (region.nchunks - 1 < std::size_t(helpers)) {
+    helpers = int(region.nchunks - 1);
+  }
+  if (helpers > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      region.helpers_wanted = helpers;
+      queue_.push_back(&region);
+    }
+    if (helpers == 1) {
+      work_cv_.notify_one();
+    } else {
+      work_cv_.notify_all();
+    }
+  }
+
+  // The submitting thread always participates; with zero helpers this is
+  // simply a chunked serial loop.
+  run_chunks(region);
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Withdraw the region if no worker attached (all chunks already done);
+    // after this no new helper can reach it.
+    auto it = std::find(queue_.begin(), queue_.end(), &region);
+    if (it != queue_.end()) queue_.erase(it);
+    done_cv_.wait(lock, [&region] { return region.running == 0; });
+    error = region.error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace cmtbone::parallel

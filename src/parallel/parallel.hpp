@@ -1,0 +1,120 @@
+#pragma once
+// Deterministic intra-rank element parallelism.
+//
+// The compute side of the mini-app is embarrassingly element-parallel: every
+// hot loop (volume flux divergence, surface numerical flux, the Nekbone
+// stiffness operator, face pack/unpack) treats elements independently, so
+// splitting an element list across threads changes which core executes each
+// element but not one floating-point operation within it. That independence
+// is the entire determinism argument: results are bit-identical for any
+// thread count, any chunk boundaries, and any execution order — the same
+// argument PR 2 used to make the overlap path bit-identical to blocking.
+//
+// Ranks in this reproduction are already std::threads inside one process
+// (comm::run), so per-rank pools would multiply threads by ranks and thrash.
+// Instead one process-wide Pool (size ~ hardware_concurrency) is shared:
+// each rank submits its element-range region and asks for at most
+// threads_per_rank - 1 helpers. When every worker is busy serving another
+// rank, the submitting rank simply executes all chunks itself — graceful
+// degradation under oversubscription, never a deadlock (the caller always
+// participates and never waits for a worker to *start*).
+//
+// Safety under chaos/resilience unwinds: parallel regions are compute-only
+// (no comm calls, so no chaos hook ever fires on a pool worker). A region
+// that throws stops issuing chunks, drains, and rethrows the first exception
+// on the submitting rank thread — from where it unwinds exactly like any
+// rank failure. for_range() never returns while a worker can still touch
+// the region, so stack-captured state stays valid.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cmtbone::parallel {
+
+/// Shared worker pool. One global() instance serves every rank thread; extra
+/// instances exist only for unit tests.
+class Pool {
+ public:
+  /// Spawns `workers` helper threads (0 is valid: every region then runs
+  /// entirely on its submitting thread).
+  explicit Pool(int workers);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// The process-wide pool, sized max(1, hardware_concurrency - 1) helpers
+  /// (rank threads themselves do work too) unless CMTBONE_POOL_WORKERS
+  /// overrides it. Constructed on first use.
+  static Pool& global();
+
+  int worker_count() const { return int(threads_.size()); }
+
+  using RangeFn = std::function<void(std::size_t, std::size_t)>;
+
+  /// Run fn(begin, end) over [0, count) in fixed chunks of `grain` indices,
+  /// on up to `threads - 1` pool helpers plus the calling thread. Chunk
+  /// boundaries depend only on (count, grain) — never on how many helpers
+  /// actually show up. Blocks until every chunk completed; rethrows the
+  /// first exception thrown by fn. Thread-safe: any number of rank threads
+  /// may have regions in flight concurrently.
+  void for_range(std::size_t count, std::size_t grain, int threads,
+                 const RangeFn& fn);
+
+ private:
+  struct Region {
+    std::size_t count = 0;
+    std::size_t grain = 1;
+    std::size_t nchunks = 0;
+    std::atomic<std::size_t> next{0};  // next unclaimed chunk
+    const RangeFn* fn = nullptr;
+    int helpers_wanted = 0;    // guarded by mu_: workers still to attach
+    int running = 0;           // guarded by mu_: helpers inside run_chunks
+    std::exception_ptr error;  // guarded by mu_: first failure
+  };
+
+  void worker_loop();
+  void run_chunks(Region& region);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue non-empty or stop
+  std::condition_variable done_cv_;  // submitters: region fully drained
+  std::deque<Region*> queue_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+/// Resolve a threads-per-rank request: a positive value wins; 0 falls back
+/// to the CMTBONE_THREADS_PER_RANK environment variable (how CI runs the
+/// whole tier-1 suite threaded without touching every test's Config), and
+/// finally to 1 — today's serial behavior, bit for bit.
+int resolve_threads(int requested);
+
+/// Chunk size giving each participating thread a few chunks to balance
+/// stragglers while keeping per-chunk kernel batches large.
+inline std::size_t default_grain(std::size_t count, int threads) {
+  const std::size_t parts = std::size_t(threads > 0 ? threads : 1) * 4;
+  return count < parts ? 1 : (count + parts - 1) / parts;
+}
+
+/// Element-parallel loop: fn(begin, end) tiles [0, count). With threads <= 1
+/// this is a direct inline call — no pool, no std::function, no atomics —
+/// so threads_per_rank = 1 is exactly the pre-pool code path.
+template <class Fn>
+void for_elements(std::size_t count, std::size_t grain, int threads, Fn&& fn) {
+  if (count == 0) return;
+  if (threads <= 1) {
+    fn(std::size_t{0}, count);
+    return;
+  }
+  Pool::global().for_range(count, grain, threads, Pool::RangeFn(fn));
+}
+
+}  // namespace cmtbone::parallel

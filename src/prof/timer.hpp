@@ -31,7 +31,26 @@ class WallTimer {
   clock::time_point start_;
 };
 
-/// Read the timestamp counter. Falls back to nanoseconds on non-x86.
+/// What read_cycles() actually counts. On x86 it is raw TSC ticks; the
+/// non-x86 fallback is steady-clock *nanoseconds*. The two differ by the
+/// TSC frequency (a few GHz), so consumers must never mix readings across
+/// platforms as if they shared a unit — benches report cycle_unit_name()
+/// next to every count.
+enum class CycleUnit { kTscCycles, kNanoseconds };
+
+constexpr CycleUnit cycle_unit() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return CycleUnit::kTscCycles;
+#else
+  return CycleUnit::kNanoseconds;
+#endif
+}
+
+constexpr const char* cycle_unit_name(CycleUnit u = cycle_unit()) {
+  return u == CycleUnit::kTscCycles ? "tsc-cycles" : "nanoseconds";
+}
+
+/// Read the platform cycle counter; interpret via cycle_unit().
 inline std::uint64_t read_cycles() {
 #if defined(__x86_64__) || defined(_M_X64)
   return __rdtsc();

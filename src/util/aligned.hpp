@@ -12,6 +12,7 @@
 #include <new>
 #include <span>
 #include <utility>
+#include "util/bytes.hpp"
 
 namespace cmtbone::util {
 
@@ -30,7 +31,7 @@ class AlignedBuffer {
 
   AlignedBuffer(const AlignedBuffer& other) {
     allocate(other.n_);
-    if (n_ != 0) std::memcpy(p_, other.p_, n_ * sizeof(T));
+    copy_bytes(p_, other.p_, n_ * sizeof(T));
   }
 
   AlignedBuffer(AlignedBuffer&& other) noexcept

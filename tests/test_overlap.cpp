@@ -289,6 +289,33 @@ TEST(OverlapDriver, ChaosPerturbedOverlapStillBitIdentical) {
   }
 }
 
+TEST(OverlapDriver, ThreadedOverlapUnderChaosStillBitIdentical) {
+  // Stack all three schedule perturbers at once — overlap splitting, chaos
+  // delays/holds/stragglers, and the worker pool moving element chunks
+  // between threads — and demand the serial blocking answer bit for bit.
+  const int nranks = 3;
+  Config cfg = overlap_config(FaceBackend::kDirect, Physics::kEuler);
+  auto blocking = run_sim(nranks, cfg, 10);
+
+  for (std::uint64_t seed : {5u, 23u}) {
+    ChaosPolicy policy;
+    policy.seed = seed;
+    policy.delay_probability = 0.3;
+    policy.max_delay_us = 200;
+    policy.hold_probability = 0.3;
+    policy.max_hold_ticks = 6;
+    policy.rank_slowdown = {3.0, 1.0, 1.0};
+    ChaosEngine engine(policy, nranks);
+
+    Config threaded = cfg;
+    threaded.overlap = true;
+    threaded.threads_per_rank = 4;
+    auto perturbed = run_sim(nranks, threaded, 10, &engine);
+    SCOPED_TRACE(seed);
+    expect_bitwise_equal(blocking, perturbed);
+  }
+}
+
 TEST(OverlapDriver, OverlapStatsAccumulateOnlyOnOverlapPath) {
   cmtbone::comm::run(2, [](Comm& world) {
     Config cfg = overlap_config(FaceBackend::kDirect, Physics::kEuler);

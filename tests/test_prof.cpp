@@ -46,6 +46,25 @@ TEST(Timer, CyclesMonotone) {
   EXPECT_GE(b, a);
 }
 
+TEST(Timer, CycleUnitMatchesPlatform) {
+  // read_cycles() counts TSC ticks on x86 and steady-clock nanoseconds
+  // elsewhere; the advertised unit must match the compiled-in reader so no
+  // consumer ever mixes the two as one unit.
+  using cmtbone::prof::CycleUnit;
+  constexpr CycleUnit unit = cmtbone::prof::cycle_unit();
+#if defined(__x86_64__) || defined(_M_X64)
+  EXPECT_EQ(unit, CycleUnit::kTscCycles);
+  EXPECT_STREQ(cmtbone::prof::cycle_unit_name(), "tsc-cycles");
+#else
+  EXPECT_EQ(unit, CycleUnit::kNanoseconds);
+  EXPECT_STREQ(cmtbone::prof::cycle_unit_name(), "nanoseconds");
+#endif
+  EXPECT_STREQ(cmtbone::prof::cycle_unit_name(CycleUnit::kTscCycles),
+               "tsc-cycles");
+  EXPECT_STREQ(cmtbone::prof::cycle_unit_name(CycleUnit::kNanoseconds),
+               "nanoseconds");
+}
+
 TEST(CallProf, BuildsNestedTree) {
   cmtbone::prof::reset_thread_profile();
   {

@@ -494,7 +494,8 @@ void expect_bit_identical(const FieldDump& a, const FieldDump& b,
   }
 }
 
-void run_recovery_matrix(int nranks, const fs::path& scratch) {
+void run_recovery_matrix(int nranks, const fs::path& scratch,
+                         int threads_per_rank = 1) {
   constexpr int kSteps = 9;
   constexpr int kInterval = 3;
   struct Variant {
@@ -518,8 +519,11 @@ void run_recovery_matrix(int nranks, const fs::path& scratch) {
     cfg.face_backend = v.backend;
     cfg.gs_method = v.method;
     cfg.overlap = v.overlap;
+    cfg.threads_per_rank = 1;
 
-    // Uninterrupted baseline.
+    // Uninterrupted baseline, always serial: the kill/recover re-run below
+    // uses threads_per_rank, so a threaded matrix also proves threaded
+    // recovery lands on the serial answer bit for bit.
     FieldDump baseline;
     std::mutex mu;
     cmtbone::comm::run(nranks, [&](Comm& world) {
@@ -528,6 +532,7 @@ void run_recovery_matrix(int nranks, const fs::path& scratch) {
       driver.run(kSteps);
       capture_into(&baseline, &mu)(driver, world);
     });
+    cfg.threads_per_rank = threads_per_rank;
 
     for (std::uint64_t seed = 1; seed <= 8; ++seed) {
       const std::string label = std::string(v.name) + " ranks " +
@@ -573,6 +578,12 @@ void run_recovery_matrix(int nranks, const fs::path& scratch) {
 TEST_F(ResilienceTest, RecoveryMatrix1Rank) { run_recovery_matrix(1, dir_); }
 TEST_F(ResilienceTest, RecoveryMatrix2Ranks) { run_recovery_matrix(2, dir_); }
 TEST_F(ResilienceTest, RecoveryMatrix4Ranks) { run_recovery_matrix(4, dir_); }
+TEST_F(ResilienceTest, RecoveryMatrix2RanksThreaded) {
+  // Chaos kill + checkpoint recovery with the worker pool active: the
+  // mid-flight unwind must never leave a pool region dangling, and the
+  // recovered threaded run must reproduce the serial baseline.
+  run_recovery_matrix(2, dir_, /*threads_per_rank=*/2);
+}
 
 TEST_F(ResilienceTest, RecoverySurvivesCorruptPrimaryViaBuddy) {
   // Kill after epoch 6 committed, with rank 1's epoch-6 primary corrupted

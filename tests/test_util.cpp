@@ -4,8 +4,10 @@
 
 #include <cstdint>
 #include <set>
+#include <vector>
 
 #include "util/aligned.hpp"
+#include "util/bytes.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -42,6 +44,25 @@ TEST(AlignedBuffer, ResetReallocatesZeroed) {
   buf.reset(10);
   EXPECT_EQ(buf.size(), 10u);
   for (double v : buf) EXPECT_EQ(v, 0.0);
+}
+
+TEST(CopyBytes, CopiesAndToleratesNullWithZeroLength) {
+  // The degenerate-topology shape: an empty std::vector's data() may be
+  // null, and raw memcpy(null, null, 0) is UB. copy_bytes must be a clean
+  // no-op there and an exact copy otherwise.
+  cmtbone::util::copy_bytes(nullptr, nullptr, 0);
+
+  std::vector<double> empty_src, empty_dst;
+  cmtbone::util::copy_bytes(empty_dst.data(), empty_src.data(), 0);
+  cmtbone::util::copy_values(empty_dst.data(), empty_src.data(), 0);
+
+  std::vector<int> src = {1, 2, 3, 4}, dst(4, 0);
+  cmtbone::util::copy_bytes(dst.data(), src.data(), 4 * sizeof(int));
+  EXPECT_EQ(dst, src);
+
+  std::vector<double> dsrc = {0.5, -1.25, 3.75}, ddst(3, 0.0);
+  cmtbone::util::copy_values(ddst.data(), dsrc.data(), dsrc.size());
+  EXPECT_EQ(ddst, dsrc);
 }
 
 TEST(Cli, ParsesFlagsValuesAndPositionals) {
