@@ -10,20 +10,29 @@
 //
 // Usage: fig5_fig6_derivative_opt [--nel 200] [--steps 100] [--n 10]
 //        (--nel 1563 --steps 1000 for the paper's exact workload)
-//        [--json FILE] instead sweeps N=5..25 comparing the fixed-N mxm
-//        microkernel dispatch against the runtime-N mxm on the derivative
-//        contraction shapes and writes the timings as JSON.
+//        [--json FILE] instead sweeps N=5..25 timing every kernel-dispatch
+//        backend (scalar, fixed-N, SIMD, SIMD+FMA, batched) on the
+//        derivative contraction shapes, reports GFLOP/s and % of the
+//        measured machine peak per backend, and writes JSON. Fails loudly
+//        (exit 1) if any dispatched backend loses to scalar across the
+//        sweep, printing the losing variant and every N where it lost.
+//        [--smoke] autotunes a subset of N and gates that the autotuned
+//        selection is not slower than forced-scalar (the CI smoke check).
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "kernels/dispatch.hpp"
 #include "kernels/gradient.hpp"
 #include "kernels/mxm.hpp"
 #include "prof/perf_counters.hpp"
+#include "prof/roofline.hpp"
 #include "prof/timer.hpp"
 #include "sem/operators.hpp"
 #include "util/cli.hpp"
@@ -82,15 +91,31 @@ Measurement measure(cmtbone::kernels::GradVariant v, int dir, const double* d,
   return m;
 }
 
-// --- fixed-N vs runtime-N mxm sweep (--json) --------------------------------
+// --- backend sweep (--json) -------------------------------------------------
 //
-// Times the two contraction shapes the derivative kernels route through mxm
-// (dudr: (N x N)(N x N^2); dudt: (N^2 x N)(N x N)) over a batch of elements,
-// once through the runtime-N mxm and once through the fixed-N dispatch
-// table. Best-of-k timing; element batch scaled so every N does comparable
-// work.
-int run_mxm_json_sweep(const std::string& path) {
+// Times every kernel-dispatch backend on the derivative contraction pair
+// (dudr + dudt over a batch of elements, the shapes the solver routes
+// through mxm), via the same grad_backend entry point the dispatch layer
+// uses in production. Best-of-k timing; element batch scaled so every N
+// does comparable work. Reports GFLOP/s and percent of the measured
+// machine compute peak per backend.
+double best_of_sweeps(const std::function<void()>& body) {
+  body();  // warm up
+  double best = 1e300;
+  for (int s = 0; s < 7; ++s) {
+    cmtbone::prof::WallTimer t;
+    for (int r = 0; r < 20; ++r) body();
+    best = std::min(best, t.seconds() / 20.0);
+  }
+  return best;
+}
+
+int run_backend_json_sweep(const std::string& path) {
   using namespace cmtbone;
+  using kernels::Backend;
+  const auto& backends = kernels::all_backends();
+  const prof::Machine& mach = prof::machine();
+
   FILE* out = std::fopen(path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -99,88 +124,187 @@ int run_mxm_json_sweep(const std::string& path) {
   std::fprintf(out,
                "{\n"
                "  \"bench\": \"fig5_fig6_derivative_opt --json\",\n"
-               "  \"compare\": \"kernels::mxm_fixed<N> dispatch vs runtime-N "
-               "kernels::mxm\",\n"
+               "  \"compare\": \"kernel dispatch backends (scalar, fixed-n, "
+               "simd, simd-fma, batched) on the derivative contraction "
+               "pair\",\n"
                "  \"shapes\": \"per element: dudr (NxN * NxN^2) + dudt "
-               "(N^2xN * NxN)\",\n"
+               "(N^2xN * NxN) via kernels::grad_backend\",\n"
                "  \"timing\": \"best of 7 samples, 20 sweeps per sample\",\n"
-               "  \"cycle_unit\": \"%s\",\n"
+               "  \"machine\": {\"isa\": \"%s\", \"peak_gflops\": %.2f, "
+               "\"mem_gbytes_per_s\": %.2f},\n"
                "  \"results\": [\n",
-               cmtbone::prof::cycle_unit_name());
+               mach.isa.c_str(), mach.peak_gflops, mach.mem_gbytes);
 
-  std::printf("=== fixed-N mxm dispatch vs runtime mxm (N sweep) ===\n");
-  bool first = true;
-  double log_speedup_sum = 0.0;
+  std::printf("=== kernel backend sweep (isa %s, peak %.1f GFLOP/s, "
+              "mem %.1f GB/s) ===\n",
+              mach.isa.c_str(), mach.peak_gflops, mach.mem_gbytes);
+
+  // Per-backend log-speedup accumulators vs scalar, plus every N where a
+  // backend lost — the loud-failure check gates each dispatched backend and
+  // names the loser, not just fixed-N.
+  std::vector<double> log_speedup(backends.size(), 0.0);
+  std::vector<std::vector<int>> losses(backends.size());
+  double log_simd_over_fixed_5_16 = 0.0;
+  int points_5_16 = 0;
   int sweep_points = 0;
+  bool first = true;
+
   for (int n = 5; n <= 25; ++n) {
     const int nel = std::max(4, 4000 / (n * n));
     const std::size_t epts = std::size_t(n) * n * n;
     util::SplitMix64 rng(7 * n + 1);
-    std::vector<double> d(std::size_t(n) * n), u(epts * nel), scratch(epts * nel);
+    std::vector<double> d(std::size_t(n) * n), u(epts * nel),
+        scratch(epts * nel);
     for (double& x : d) x = rng.uniform(-1, 1);
     for (double& x : u) x = rng.uniform(-1, 1);
 
-    kernels::MxmFixedFn fixed = kernels::mxm_fixed_kernel(n);
-    auto run_runtime = [&] {
-      for (int e = 0; e < nel; ++e) {
-        kernels::mxm(d.data(), n, u.data() + e * epts, n,
-                     scratch.data() + e * epts, n * n);
-        kernels::mxm(u.data() + e * epts, n * n, d.data(), n,
-                     scratch.data() + e * epts, n);
-      }
-    };
-    auto run_fixed = [&] {
-      for (int e = 0; e < nel; ++e) {
-        fixed(d.data(), n, u.data() + e * epts, scratch.data() + e * epts,
-              n * n);
-        fixed(u.data() + e * epts, n * n, d.data(),
-              scratch.data() + e * epts, n);
-      }
-    };
-    auto best_of = [&](const auto& body) {
-      body();  // warm up
-      double best = 1e300;
-      for (int s = 0; s < 7; ++s) {
-        prof::WallTimer t;
-        for (int r = 0; r < 20; ++r) body();
-        best = std::min(best, t.seconds() / 20.0);
-      }
-      return best;
-    };
+    // r + t derivative of the whole batch: 2 x 2 N^4 nel flops.
+    const double flops = 2.0 * kernels::grad_flops(n, nel);
+    const double bytes = 2.0 * kernels::grad_bytes(n, nel);
+    const double intensity = flops / bytes;
 
-    const double runtime_s = best_of(run_runtime);
-    const double fixed_s = best_of(run_fixed);
-    // 2 flops per mul-add; two contractions of 2 N^4 per element.
-    const double gflop = 4.0 * n * n * n * n * nel / 1e9;
-    std::printf("  N=%2d nel=%4d runtime %8.3f us  fixed %8.3f us  "
-                "speedup %.2fx\n",
-                n, nel, runtime_s * 1e6, fixed_s * 1e6, runtime_s / fixed_s);
+    std::vector<double> secs(backends.size());
+    for (std::size_t bi = 0; bi < backends.size(); ++bi) {
+      const Backend b = backends[bi];
+      secs[bi] = best_of_sweeps([&] {
+        kernels::grad_backend(b, 0, d.data(), u.data(), scratch.data(), n,
+                              nel);
+        kernels::grad_backend(b, 2, d.data(), u.data(), scratch.data(), n,
+                              nel);
+      });
+    }
+
+    const double scalar_s = secs[0];
+    double fixed_s = scalar_s, best_simd_s = 1e300;
+    std::size_t best_bi = 0;
     std::fprintf(out,
-                 "%s    {\"n\": %d, \"nel\": %d, "
-                 "\"runtime_mxm_seconds\": %.9e, "
-                 "\"fixed_mxm_seconds\": %.9e, "
-                 "\"runtime_gflops\": %.3f, \"fixed_gflops\": %.3f, "
-                 "\"speedup\": %.3f}",
-                 first ? "" : ",\n", n, nel, runtime_s, fixed_s,
-                 gflop / runtime_s, gflop / fixed_s, runtime_s / fixed_s);
+                 "%s    {\"n\": %d, \"nel\": %d, \"intensity\": %.3f, "
+                 "\"backends\": {",
+                 first ? "" : ",\n", n, nel, intensity);
     first = false;
-    log_speedup_sum += std::log(runtime_s / fixed_s);
+    std::printf("  N=%2d nel=%4d:", n, nel);
+    for (std::size_t bi = 0; bi < backends.size(); ++bi) {
+      const Backend b = backends[bi];
+      const double gflops = flops / secs[bi] / 1e9;
+      const double speedup = scalar_s / secs[bi];
+      std::fprintf(out,
+                   "%s\"%s\": {\"seconds\": %.9e, \"gflops\": %.3f, "
+                   "\"pct_peak\": %.2f, \"speedup_vs_scalar\": %.3f}",
+                   bi == 0 ? "" : ", ", kernels::backend_name(b), secs[bi],
+                   gflops, prof::percent_of_peak(mach, gflops), speedup);
+      std::printf(" %s %.1fGF(%2.0f%%)", kernels::backend_name(b), gflops,
+                  prof::percent_of_peak(mach, gflops));
+      if (secs[bi] < secs[best_bi]) best_bi = bi;
+      if (b == Backend::kFixedN) fixed_s = secs[bi];
+      if (b == Backend::kSimd || b == Backend::kSimdFma ||
+          b == Backend::kBatched) {
+        best_simd_s = std::min(best_simd_s, secs[bi]);
+      }
+      if (bi > 0) {
+        log_speedup[bi] += std::log(speedup);
+        if (speedup < 1.0) losses[bi].push_back(n);
+      }
+    }
+    std::fprintf(out, "}, \"best\": \"%s\"}",
+                 kernels::backend_name(backends[best_bi]));
+    std::printf("  best=%s\n", kernels::backend_name(backends[best_bi]));
+    if (n >= 5 && n <= 16) {
+      log_simd_over_fixed_5_16 += std::log(fixed_s / best_simd_s);
+      ++points_5_16;
+    }
     ++sweep_points;
   }
-  const double geomean = std::exp(log_speedup_sum / sweep_points);
-  std::fprintf(out, "\n  ],\n  \"geomean_speedup\": %.3f\n}\n", geomean);
+
+  std::fprintf(out, "\n  ],\n  \"geomean_speedup_vs_scalar\": {");
+  std::printf("geomean speedup vs scalar:");
+  for (std::size_t bi = 1; bi < backends.size(); ++bi) {
+    const double g = std::exp(log_speedup[bi] / sweep_points);
+    std::fprintf(out, "%s\"%s\": %.3f", bi == 1 ? "" : ", ",
+                 kernels::backend_name(backends[bi]), g);
+    std::printf("  %s %.2fx", kernels::backend_name(backends[bi]), g);
+  }
+  const double simd_over_fixed =
+      std::exp(log_simd_over_fixed_5_16 / points_5_16);
+  std::fprintf(out,
+               "},\n  \"geomean_best_simd_over_fixed_n5_16\": %.3f\n}\n",
+               simd_over_fixed);
   std::fclose(out);
-  std::printf("geomean fixed-N speedup over runtime-N: %.2fx\n", geomean);
+  std::printf("\ngeomean best-SIMD speedup over fixed-N (N=5..16): %.2fx\n",
+              simd_over_fixed);
   std::printf("(json written to %s)\n", path.c_str());
-  // The fixed-N dispatch exists purely as an optimization; if it ever loses
-  // to the runtime-N kernel across the sweep, the build is misconfigured
-  // (e.g. the dispatch table compiled without its intended flags) and the
-  // numbers would silently misrepresent §V. Fail loudly instead.
-  if (geomean < 1.0) {
+
+  // Every dispatched backend exists purely as an optimization over the
+  // scalar reference; a backend that loses across the sweep means the
+  // build is misconfigured (e.g. a TU compiled without its intended flags)
+  // and the numbers would silently misrepresent the kernels. Fail loudly,
+  // naming the variant and each N where it lost.
+  int rc = 0;
+  for (std::size_t bi = 1; bi < backends.size(); ++bi) {
+    const double g = std::exp(log_speedup[bi] / sweep_points);
+    if (g < 1.0) {
+      std::fprintf(stderr,
+                   "FAIL: backend '%s' is slower than scalar across the "
+                   "sweep (geomean %.3fx < 1.0); losing N:",
+                   kernels::backend_name(backends[bi]), g);
+      for (int n : losses[bi]) std::fprintf(stderr, " %d", n);
+      std::fprintf(stderr, "\n");
+      rc = 1;
+    }
+  }
+  if (simd_over_fixed < 1.0) {
     std::fprintf(stderr,
-                 "FAIL: fixed-N mxm is slower than runtime-N mxm "
-                 "(geomean %.3fx < 1.0) — the specialized kernels regressed "
-                 "or the build flags are wrong\n",
+                 "FAIL: best SIMD/batched backend loses to fixed-N on the "
+                 "paper range N=5..16 (geomean %.3fx < 1.0)\n",
+                 simd_over_fixed);
+    rc = 1;
+  }
+  return rc;
+}
+
+// --- autotune smoke gate (--smoke) ------------------------------------------
+//
+// CI check: autotune a few paper-range sizes, install the table, and verify
+// the dispatched (autotuned) selection is not slower than forced-scalar on
+// an independent re-measurement. The 0.9 floor absorbs timer noise on a
+// shared host; a genuine inversion (mis-tuned table, broken TU flags)
+// lands far below it.
+int run_smoke() {
+  using namespace cmtbone;
+  const std::vector<int> ns = {5, 8, 10, 13, 16};
+  kernels::TuneTable table = kernels::autotune(ns);
+  kernels::apply_tune_table(table);
+  std::printf("=== autotune smoke (isa %s) ===\n", kernels::isa_name());
+
+  double log_sum = 0.0;
+  for (int n : ns) {
+    const int nel = std::max(4, 2000 / (n * n));
+    const std::size_t epts = std::size_t(n) * n * n;
+    util::SplitMix64 rng(13 * n + 5);
+    std::vector<double> d(std::size_t(n) * n), u(epts * nel),
+        scratch(epts * nel);
+    for (double& x : d) x = rng.uniform(-1, 1);
+    for (double& x : u) x = rng.uniform(-1, 1);
+    auto time_backend = [&](std::optional<kernels::Backend> force) {
+      kernels::ScopedBackendForce guard(force);
+      return best_of_sweeps([&] {
+        kernels::grad_dispatch(0, d.data(), u.data(), scratch.data(), n, nel);
+        kernels::grad_dispatch(2, d.data(), u.data(), scratch.data(), n, nel);
+      });
+    };
+    const double scalar_s = time_backend(kernels::Backend::kScalar);
+    const double tuned_s = time_backend(std::nullopt);
+    const double speedup = scalar_s / tuned_s;
+    std::printf("  N=%2d tuned=%s  %.2fx vs scalar\n", n,
+                kernels::backend_name(kernels::selected_backend(n)), speedup);
+    log_sum += std::log(speedup);
+  }
+  const double geomean = std::exp(log_sum / double(ns.size()));
+  std::printf("geomean autotuned speedup vs scalar: %.2fx\n", geomean);
+  if (geomean < 0.9) {
+    std::fprintf(stderr,
+                 "FAIL: autotuned kernel selection is slower than scalar "
+                 "(geomean %.3fx < 0.9) — tuning picked a mis-built or "
+                 "mis-measured backend\n",
                  geomean);
     return 1;
   }
@@ -198,15 +322,20 @@ int main(int argc, char** argv) {
       .describe("n", "GLL points per direction (default 10)")
       .describe("csv-dir", "also write result tables as CSV here")
       .describe("json",
-                "sweep N=5..25 fixed-N vs runtime mxm and write JSON here");
+                "sweep N=5..25 over every kernel backend and write JSON here")
+      .describe("smoke",
+                "autotune a few N and gate autotuned-vs-scalar (CI check)");
   if (cli.help_requested()) {
     std::printf("%s", cli.usage().c_str());
     return 0;
   }
   cli.reject_unknown();
 
+  if (cli.has("smoke")) {
+    return run_smoke();
+  }
   if (cli.has("json")) {
-    return run_mxm_json_sweep(cli.get("json", "BENCH_kernels.json"));
+    return run_backend_json_sweep(cli.get("json", "BENCH_kernels.json"));
   }
 
   const int nel = cli.get_int("nel", 200);
@@ -267,6 +396,24 @@ int main(int argc, char** argv) {
   for (int dir : {2, 0, 1}) {
     std::printf("  %s: %.2fx\n", names[dir],
                 basic[dir].seconds / opt[dir].seconds);
+  }
+
+  // Roofline context: where these kernels sit against the measured machine
+  // roofs (see prof/roofline.hpp for the probes and the cache-residency
+  // caveat).
+  const prof::Machine& mach = prof::machine();
+  const double flops = double(kernels::grad_flops(n, nel)) * steps;
+  const double intensity =
+      double(kernels::grad_flops(n, nel)) / double(kernels::grad_bytes(n, nel));
+  std::printf(
+      "\nRoofline (isa %s, peak %.1f GFLOP/s, mem %.1f GB/s, "
+      "intensity %.2f flop/byte -> attainable %.1f GFLOP/s):\n",
+      mach.isa.c_str(), mach.peak_gflops, mach.mem_gbytes, intensity,
+      prof::attainable_gflops(mach, intensity));
+  for (int dir : {2, 0, 1}) {
+    const double gflops = flops / opt[dir].seconds / 1e9;
+    std::printf("  %s (fused+unrolled): %6.2f GFLOP/s = %4.1f%% of peak\n",
+                names[dir], gflops, prof::percent_of_peak(mach, gflops));
   }
   return 0;
 }

@@ -1,21 +1,41 @@
 // §V text: google-benchmark N-sweep of the derivative kernels over the
 // paper's order range ("with N ranging between 5 and 25") and the mxm /
-// dealiasing building blocks.
+// dealiasing building blocks — including every kernel-dispatch backend
+// (kernels/dispatch.hpp). Each flop-counted benchmark also reports
+// pct_peak: its GFLOP/s as a percentage of the measured machine compute
+// roof (prof/roofline.hpp).
 
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "kernels/dispatch.hpp"
 #include "kernels/div.hpp"
 #include "kernels/gradient.hpp"
 #include "kernels/mxm.hpp"
 #include "kernels/tensor.hpp"
+#include "prof/roofline.hpp"
 #include "sem/operators.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
+using cmtbone::kernels::Backend;
 using cmtbone::kernels::GradVariant;
+
+// items_processed = flops (the historical convention of this sweep), plus
+// the roofline counter: pct_peak reads directly as percent of the measured
+// machine peak.
+void set_flop_counters(benchmark::State& state, long long flops_per_iter) {
+  const double total = double(state.iterations()) * double(flops_per_iter);
+  state.SetItemsProcessed(state.iterations() * flops_per_iter);
+  const double peak = cmtbone::prof::machine().peak_gflops;
+  if (peak > 0.0) {
+    state.counters["pct_peak"] =
+        benchmark::Counter(total * 100.0 / (peak * 1e9),
+                           benchmark::Counter::kIsRate);
+  }
+}
 
 struct Workload {
   cmtbone::sem::Operators op;
@@ -51,8 +71,19 @@ void bench_grad(benchmark::State& state, GradVariant v, int dir) {
     }
     benchmark::DoNotOptimize(w.out.data());
   }
-  state.SetItemsProcessed(state.iterations() *
-                          cmtbone::kernels::grad_flops(n, nel));
+  set_flop_counters(state, cmtbone::kernels::grad_flops(n, nel));
+}
+
+void bench_grad_backend(benchmark::State& state, Backend b, int dir) {
+  const int n = int(state.range(0));
+  const int nel = 32;
+  Workload w(n, nel);
+  for (auto _ : state) {
+    cmtbone::kernels::grad_backend(b, dir, w.op.d.data(), w.u.data(),
+                                   w.out.data(), n, nel);
+    benchmark::DoNotOptimize(w.out.data());
+  }
+  set_flop_counters(state, cmtbone::kernels::grad_flops(n, nel));
 }
 
 void GradBasicR(benchmark::State& s) { bench_grad(s, GradVariant::kBasic, 0); }
@@ -70,6 +101,42 @@ void GradTunedT(benchmark::State& s) {
 void GradBlockedR(benchmark::State& s) {
   bench_grad(s, GradVariant::kBlocked, 0);
 }
+void GradFixedNR(benchmark::State& s) {
+  bench_grad_backend(s, Backend::kFixedN, 0);
+}
+void GradFixedNS(benchmark::State& s) {
+  bench_grad_backend(s, Backend::kFixedN, 1);
+}
+void GradFixedNT(benchmark::State& s) {
+  bench_grad_backend(s, Backend::kFixedN, 2);
+}
+void GradSimdR(benchmark::State& s) {
+  bench_grad_backend(s, Backend::kSimd, 0);
+}
+void GradSimdS(benchmark::State& s) {
+  bench_grad_backend(s, Backend::kSimd, 1);
+}
+void GradSimdT(benchmark::State& s) {
+  bench_grad_backend(s, Backend::kSimd, 2);
+}
+void GradSimdFmaR(benchmark::State& s) {
+  bench_grad_backend(s, Backend::kSimdFma, 0);
+}
+void GradSimdFmaS(benchmark::State& s) {
+  bench_grad_backend(s, Backend::kSimdFma, 1);
+}
+void GradSimdFmaT(benchmark::State& s) {
+  bench_grad_backend(s, Backend::kSimdFma, 2);
+}
+void GradBatchedR(benchmark::State& s) {
+  bench_grad_backend(s, Backend::kBatched, 0);
+}
+void GradBatchedS(benchmark::State& s) {
+  bench_grad_backend(s, Backend::kBatched, 1);
+}
+void GradBatchedT(benchmark::State& s) {
+  bench_grad_backend(s, Backend::kBatched, 2);
+}
 
 void Div3Fused(benchmark::State& state) {
   const int n = int(state.range(0));
@@ -82,8 +149,7 @@ void Div3Fused(benchmark::State& state) {
                            /*fused=*/true);
     benchmark::DoNotOptimize(w.out.data());
   }
-  state.SetItemsProcessed(state.iterations() *
-                          cmtbone::kernels::div3_flops(n, nel));
+  set_flop_counters(state, cmtbone::kernels::div3_flops(n, nel));
 }
 
 void Div3ThreeSweeps(benchmark::State& state) {
@@ -97,8 +163,7 @@ void Div3ThreeSweeps(benchmark::State& state) {
                            /*fused=*/false, work.data());
     benchmark::DoNotOptimize(w.out.data());
   }
-  state.SetItemsProcessed(state.iterations() *
-                          cmtbone::kernels::div3_flops(n, nel));
+  set_flop_counters(state, cmtbone::kernels::div3_flops(n, nel));
 }
 
 void Mxm(benchmark::State& state) {
@@ -112,8 +177,7 @@ void Mxm(benchmark::State& state) {
     cmtbone::kernels::mxm(a.data(), n, b.data(), n, c.data(), n * n);
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(state.iterations() *
-                          cmtbone::kernels::mxm_flops(n, n, n * n));
+  set_flop_counters(state, cmtbone::kernels::mxm_flops(n, n, n * n));
 }
 
 void DealiasRoundTrip(benchmark::State& state) {
@@ -142,6 +206,18 @@ BENCHMARK(GradTunedR)->DenseRange(5, 25, 5);
 BENCHMARK(GradTunedS)->DenseRange(5, 25, 5);
 BENCHMARK(GradTunedT)->DenseRange(5, 25, 5);
 BENCHMARK(GradBlockedR)->DenseRange(5, 25, 5);
+BENCHMARK(GradFixedNR)->DenseRange(5, 25, 5);
+BENCHMARK(GradFixedNS)->DenseRange(5, 25, 5);
+BENCHMARK(GradFixedNT)->DenseRange(5, 25, 5);
+BENCHMARK(GradSimdR)->DenseRange(5, 25, 5);
+BENCHMARK(GradSimdS)->DenseRange(5, 25, 5);
+BENCHMARK(GradSimdT)->DenseRange(5, 25, 5);
+BENCHMARK(GradSimdFmaR)->DenseRange(5, 25, 5);
+BENCHMARK(GradSimdFmaS)->DenseRange(5, 25, 5);
+BENCHMARK(GradSimdFmaT)->DenseRange(5, 25, 5);
+BENCHMARK(GradBatchedR)->DenseRange(5, 25, 5);
+BENCHMARK(GradBatchedS)->DenseRange(5, 25, 5);
+BENCHMARK(GradBatchedT)->DenseRange(5, 25, 5);
 BENCHMARK(Div3Fused)->DenseRange(5, 25, 10);
 BENCHMARK(Div3ThreeSweeps)->DenseRange(5, 25, 10);
 BENCHMARK(Mxm)->DenseRange(5, 25, 5);

@@ -100,6 +100,10 @@ Driver::Driver(comm::Comm& comm, const Config& config)
       part_(spec_, comm.rank()),
       ops_(sem::Operators::build(config.n)),
       threads_(parallel::resolve_threads(config.threads_per_rank)) {
+  if (config_.kernel_backend) {
+    kernels::set_forced_backend(*config_.kernel_backend);
+  }
+
   exchange_ = std::make_unique<mesh::FaceExchange>(comm, part_);
   exchange_->set_threads(threads_);
 

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 
+#include "kernels/dispatch.hpp"
 #include "kernels/mxm.hpp"
 
 namespace cmtbone::kernels {
@@ -14,6 +15,7 @@ const char* variant_name(GradVariant v) {
     case GradVariant::kFusedUnrolled: return "fused+unrolled";
     case GradVariant::kBlocked: return "blocked";
     case GradVariant::kMxmFixed: return "mxm-fixed";
+    case GradVariant::kDispatch: return "dispatch";
   }
   return "?";
 }
@@ -22,7 +24,8 @@ const std::vector<GradVariant>& all_variants() {
   static const std::vector<GradVariant> v = {
       GradVariant::kBasic,         GradVariant::kFused,
       GradVariant::kUnrolled,      GradVariant::kFusedUnrolled,
-      GradVariant::kBlocked,       GradVariant::kMxmFixed};
+      GradVariant::kBlocked,       GradVariant::kMxmFixed,
+      GradVariant::kDispatch};
   return v;
 }
 
@@ -317,6 +320,9 @@ void grad_elem(Dir dir, GradVariant v, const double* d, const double* u,
     case GradVariant::kMxmFixed:
       grad_field_mxm_fixed(dir, d, u, out, n, /*nel=*/1);
       return;
+    case GradVariant::kDispatch:
+      grad_dispatch(int(dir), d, u, out, n, /*nel=*/1);
+      return;
   }
 }
 
@@ -369,6 +375,10 @@ void grad_field(Dir dir, GradVariant v, const double* d, const double* u,
     grad_field_mxm_fixed(dir, d, u, out, n, nel);
     return;
   }
+  if (v == GradVariant::kDispatch) {
+    grad_dispatch(int(dir), d, u, out, n, nel);
+    return;
+  }
   const std::size_t stride = std::size_t(n) * n * n;
   for (int e = 0; e < nel; ++e) {
     grad_elem(dir, v, d, u + e * stride, out + e * stride, n);
@@ -416,8 +426,10 @@ long long grad_instruction_estimate(GradVariant v, int n, int nel) {
     case GradVariant::kFusedUnrolled: overhead = 2 * n3; break;
     case GradVariant::kBlocked: overhead = n4 + 2 * n3; break;
     // Fixed-N dispatch: unrolled contraction, register accumulators, one
-    // store per output and no zero-fill pass.
+    // store per output and no zero-fill pass. The backend-dispatch layer
+    // routes to kernels of at least that quality.
     case GradVariant::kMxmFixed: overhead = n3; break;
+    case GradVariant::kDispatch: overhead = n3; break;
   }
   return (ops + overhead) * nel;
 }

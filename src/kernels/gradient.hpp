@@ -26,6 +26,11 @@
 //                   fixed-N microkernel dispatch (see kernels/mxm.hpp); the
 //                   s/t directions multiply by D^T, transposed once per
 //                   field. Bit-identical to kBasic.
+//   kDispatch       routed through the runtime backend-dispatch layer
+//                   (kernels/dispatch.hpp): scalar / fixed-N / SIMD /
+//                   batched, chosen by force, tuning table, or default.
+//                   Bit-identical to kBasic for every backend except the
+//                   explicitly opted-into fused-multiply-add one.
 
 #include <string>
 #include <vector>
@@ -39,6 +44,7 @@ enum class GradVariant {
   kFusedUnrolled,
   kBlocked,
   kMxmFixed,
+  kDispatch,
 };
 
 const char* variant_name(GradVariant v);
@@ -61,6 +67,13 @@ void grad3(GradVariant v, const double* d, const double* u, double* ur,
 /// Flops of one directional derivative over nel elements: 2 N^4 nel.
 inline long long grad_flops(int n, int nel) {
   return 2LL * n * n * n * n * nel;
+}
+
+/// Minimal main-memory bytes of one directional derivative over nel
+/// elements (u read once, out written once; D stays cached) — the byte
+/// side of the roofline arithmetic intensity.
+inline long long grad_bytes(int n, int nel) {
+  return 2LL * 8 * n * n * n * nel;
 }
 
 /// Analytic instruction-count model per directional derivative, the stand-in

@@ -1,5 +1,6 @@
 #include "kernels/tensor.hpp"
 
+#include "kernels/dispatch.hpp"
 #include "kernels/mxm.hpp"
 
 namespace cmtbone::kernels {
@@ -9,10 +10,11 @@ void tensor_apply3(const double* a, const double* at, int m, int n,
   double* t1 = work;                                 // (m, n, n)
   double* t2 = work + std::size_t(m) * n * n;        // (m, m, n)
 
-  // Every direction contracts over n, so one dispatch-table lookup selects
-  // the fixed-N microkernel for the whole application (runtime fallback for
-  // unspecialized sizes; results are bit-identical either way).
-  if (MxmFixedFn f = mxm_fixed_kernel(n)) {
+  // Every direction contracts over n, so one backend-dispatch lookup
+  // selects the kernel for the whole application (runtime fallback for
+  // unspecialized sizes or a scalar selection; results are bit-identical
+  // either way under every bit-exact backend — see kernels/dispatch.hpp).
+  if (MxmFixedFn f = dispatch_mxm(n)) {
     f(a, m, u, t1, n * n);
     for (int k = 0; k < n; ++k) {
       f(t1 + std::size_t(k) * m * n, m, at, t2 + std::size_t(k) * m * m, m);

@@ -3,13 +3,17 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cfloat>
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "kernels/dispatch.hpp"
 #include "kernels/div.hpp"
 #include "kernels/gradient.hpp"
 #include "kernels/mxm.hpp"
+#include "kernels/simd_backend.hpp"
 #include "kernels/tensor.hpp"
 #include "sem/operators.hpp"
 #include "util/rng.hpp"
@@ -344,6 +348,211 @@ TEST(TensorApply, DealiasRoundTripPreservesResolvedPolynomials) {
     }
   }
   (void)back;
+}
+
+// ---- SIMD / dispatch backend parity -----------------------------------------
+//
+// Accumulation-order policy under test (simd_backend.hpp, DESIGN.md):
+//
+//   * Every C(i,j) accumulates over l ascending from zero, and SIMD
+//     parallelism runs only across output rows i — never across the
+//     contraction. The non-fma kernels therefore perform the same
+//     multiplies and adds, in the same order, as the scalar mxm(), and
+//     must match it BIT FOR BIT. The suites below assert with ASSERT_EQ
+//     on doubles, i.e. exact bit equality (no tolerance).
+//
+//   * The fma kernels keep that order but fuse each multiply-add into a
+//     single rounding. Against the two-roundings-per-step scalar
+//     reference, each of the n2 steps can perturb the running sum by at
+//     most one ulp of the accumulated magnitude, so
+//
+//       |fma - scalar| <= 2 * n2 * eps * sum_l |a(i,l) * b(l,j)|
+//
+//     with the bound computed from the data (the absolute-value
+//     contraction), not from the result — a naive relative-error check
+//     breaks down under cancellation. fma results are still fully
+//     deterministic: same inputs give the same bits, run to run and at
+//     any thread count.
+
+using cmtbone::kernels::Backend;
+using cmtbone::kernels::kMaxDispatchN;
+using cmtbone::kernels::kMinDispatchN;
+using cmtbone::kernels::MxmFixedFn;
+using cmtbone::kernels::SimdBackend;
+
+std::vector<const SimdBackend*> compiled_simd_backends() {
+  std::vector<const SimdBackend*> v;
+  for (const SimdBackend* b : {cmtbone::kernels::simd_backend_portable(),
+                               cmtbone::kernels::simd_backend_avx2(),
+                               cmtbone::kernels::simd_backend_avx512()}) {
+    if (b) v.push_back(b);  // ISA TUs may be compiled out or unsupported.
+  }
+  return v;
+}
+
+// Data-derived fma tolerance for C(i,j): the absolute-value contraction
+// bounds the magnitude each fused step rounds.
+double fma_tol(const double* a, int n1, const double* b, int n2, int i,
+               int j) {
+  double mag = 0.0;
+  for (int l = 0; l < n2; ++l) {
+    mag += std::fabs(a[i + std::size_t(n1) * l]) *
+           std::fabs(b[l + std::size_t(n2) * j]);
+  }
+  return 2.0 * n2 * DBL_EPSILON * mag + 1e-300;
+}
+
+TEST(SimdParity, NonFmaBitIdenticalToScalarForEveryIsaAndN) {
+  const auto backends = compiled_simd_backends();
+  ASSERT_FALSE(backends.empty());
+  // Row counts that are odd, prime, and off the 8/4/2 vector widths
+  // exercise the whole row cascade and its scalar tail; offset=1 slides
+  // every base pointer one double past the allocation start, so the
+  // kernels also run from vector-misaligned addresses.
+  const int n1s[] = {1, 2, 3, 5, 8, 12, 16, 17, 25};
+  const int n3s[] = {1, 3, 6};
+  for (const SimdBackend* bk : backends) {
+    for (int n2 = kMinDispatchN; n2 <= kMaxDispatchN; ++n2) {
+      MxmFixedFn f = bk->mxm_kernel(n2, /*fma=*/false);
+      ASSERT_NE(f, nullptr) << bk->name << " n2=" << n2;
+      for (int n1 : n1s) {
+        for (int n3 : n3s) {
+          for (std::uint64_t seed : {11u, 97u}) {
+            for (int offset : {0, 1}) {
+              auto a = random_vec(std::size_t(n1) * n2 + offset, seed * n2);
+              auto b =
+                  random_vec(std::size_t(n2) * n3 + offset, seed * n2 + 1);
+              std::vector<double> want(std::size_t(n1) * n3 + offset, -3.0);
+              std::vector<double> got = want;
+              cmtbone::kernels::mxm(a.data() + offset, n1, b.data() + offset,
+                                    n2, want.data() + offset, n3);
+              f(a.data() + offset, n1, b.data() + offset, got.data() + offset,
+                n3);
+              for (std::size_t p = 0; p < want.size(); ++p) {
+                ASSERT_EQ(want[p], got[p])
+                    << bk->name << " n1=" << n1 << " n2=" << n2
+                    << " n3=" << n3 << " seed=" << seed
+                    << " offset=" << offset << " index=" << p;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdParity, FmaWithinDataDerivedBoundAndDeterministic) {
+  const auto backends = compiled_simd_backends();
+  ASSERT_FALSE(backends.empty());
+  const int n1s[] = {1, 3, 5, 8, 17};
+  const int n3 = 5;
+  for (const SimdBackend* bk : backends) {
+    for (int n2 = kMinDispatchN; n2 <= kMaxDispatchN; ++n2) {
+      MxmFixedFn f = bk->mxm_kernel(n2, /*fma=*/true);
+      ASSERT_NE(f, nullptr) << bk->name << " n2=" << n2;
+      for (int n1 : n1s) {
+        auto a = random_vec(std::size_t(n1) * n2, 131u * n2 + n1);
+        auto b = random_vec(std::size_t(n2) * n3, 137u * n2 + n1);
+        std::vector<double> ref(std::size_t(n1) * n3, 0.0);
+        std::vector<double> got(ref.size(), 0.0), again(ref.size(), 0.0);
+        cmtbone::kernels::mxm(a.data(), n1, b.data(), n2, ref.data(), n3);
+        f(a.data(), n1, b.data(), got.data(), n3);
+        f(a.data(), n1, b.data(), again.data(), n3);
+        for (int j = 0; j < n3; ++j) {
+          for (int i = 0; i < n1; ++i) {
+            const std::size_t p = i + std::size_t(n1) * j;
+            // Same inputs, same bits: fma differs from scalar, never from
+            // itself.
+            ASSERT_EQ(got[p], again[p])
+                << bk->name << " n1=" << n1 << " n2=" << n2 << " i=" << i
+                << " j=" << j;
+            ASSERT_LE(std::fabs(got[p] - ref[p]),
+                      fma_tol(a.data(), n1, b.data(), n2, i, j))
+                << bk->name << " n1=" << n1 << " n2=" << n2 << " i=" << i
+                << " j=" << j;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DispatchParity, EveryBackendGradMatchesScalarForAllNAndDirections) {
+  // grad_backend under every Backend vs the kScalar reference, for every
+  // dispatched n plus one beyond the table (n=27: the SIMD/fixed-N paths
+  // must degrade to the runtime kernel, still bit-exact). The fma bound
+  // reuses the absolute-value trick: running the scalar gradient on
+  // |d|, |u| yields sum_l |d * u| at every output point.
+  const int nel = 3;
+  std::vector<int> ns;
+  for (int n = kMinDispatchN; n <= kMaxDispatchN; ++n) ns.push_back(n);
+  ns.push_back(kMaxDispatchN + 2);
+  for (int n : ns) {
+    const std::size_t pts = std::size_t(n) * n * n * nel;
+    auto d = random_vec(std::size_t(n) * n, 1000u + n);
+    auto u = random_vec(pts, 2000u + n);
+    std::vector<double> ad(d.size()), au(u.size());
+    for (std::size_t p = 0; p < d.size(); ++p) ad[p] = std::fabs(d[p]);
+    for (std::size_t p = 0; p < u.size(); ++p) au[p] = std::fabs(u[p]);
+    for (int dir = 0; dir < 3; ++dir) {
+      std::vector<double> ref(pts, 0.0), mag(pts, 0.0), got(pts, 0.0);
+      cmtbone::kernels::grad_backend(Backend::kScalar, dir, d.data(),
+                                     u.data(), ref.data(), n, nel);
+      cmtbone::kernels::grad_backend(Backend::kScalar, dir, ad.data(),
+                                     au.data(), mag.data(), n, nel);
+      for (Backend b : cmtbone::kernels::all_backends()) {
+        if (b == Backend::kScalar) continue;
+        std::fill(got.begin(), got.end(), -5.0);
+        cmtbone::kernels::grad_backend(b, dir, d.data(), u.data(), got.data(),
+                                       n, nel);
+        for (std::size_t p = 0; p < pts; ++p) {
+          if (cmtbone::kernels::backend_bit_identical(b)) {
+            ASSERT_EQ(ref[p], got[p])
+                << cmtbone::kernels::backend_name(b) << " n=" << n
+                << " dir=" << dir << " point=" << p;
+          } else {
+            ASSERT_LE(std::fabs(got[p] - ref[p]),
+                      2.0 * n * DBL_EPSILON * mag[p] + 1e-300)
+                << cmtbone::kernels::backend_name(b) << " n=" << n
+                << " dir=" << dir << " point=" << p;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DispatchParity, TensorApplyBitIdenticalUnderEveryBitExactBackend) {
+  // tensor_apply3 routes its contractions through dispatch_mxm; forcing
+  // each bit-exact backend must leave interpolation results untouched at
+  // the bit level (this path feeds the golden-checked dealiased physics).
+  using cmtbone::kernels::ScopedBackendForce;
+  for (int n : {4, 8}) {
+    auto op = cmtbone::sem::Operators::build(n);
+    const int m = op.m;
+    auto u = random_vec(std::size_t(n) * n * n, 60u + n);
+    std::vector<double> fine(std::size_t(m) * m * m, 0.0);
+    std::vector<double> work(cmtbone::kernels::tensor_work_size(m, m));
+    std::vector<double> want;
+    {
+      ScopedBackendForce force(Backend::kScalar);
+      cmtbone::kernels::tensor_apply3(op.interp.data(), op.interp_t.data(), m,
+                                      n, u.data(), fine.data(), work.data());
+      want = fine;
+    }
+    for (Backend b :
+         {Backend::kFixedN, Backend::kSimd, Backend::kBatched}) {
+      ScopedBackendForce force(b);
+      std::fill(fine.begin(), fine.end(), -9.0);
+      cmtbone::kernels::tensor_apply3(op.interp.data(), op.interp_t.data(), m,
+                                      n, u.data(), fine.data(), work.data());
+      for (std::size_t p = 0; p < fine.size(); ++p) {
+        ASSERT_EQ(want[p], fine[p]) << cmtbone::kernels::backend_name(b)
+                                    << " n=" << n << " point=" << p;
+      }
+    }
+  }
 }
 
 }  // namespace
