@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "balance/rebalancer.hpp"
 #include "chaos/chaos.hpp"
 #include "comm/runtime.hpp"
 #include "core/driver.hpp"
@@ -38,6 +39,7 @@ using cmtbone::core::Driver;
 struct RunResult {
   double seconds = 0.0;         // timed steps, rank-0 wall clock
   double hidden_fraction = 0.0; // overlap runs only
+  double imbalance = 1.0;       // max/mean busy thread-CPU time across ranks
 };
 
 Config study_config(int n, int e) {
@@ -70,13 +72,19 @@ RunResult time_run(int nranks, const Config& cfg, int steps,
         driver.initialize(driver.default_ic());
         driver.run(1);  // warm up allocations and message buffers
         driver.reset_overlap_stats();
+        driver.reset_balance_stats();
         world.barrier();
         cmtbone::prof::WallTimer t;
         driver.run(steps);
         world.barrier();
+        const double wall = t.seconds();
+        const cmtbone::balance::Imbalance imb =
+            cmtbone::balance::measure_imbalance(
+                world, driver.balance_stats().busy_seconds());
         if (world.rank() == 0) {
-          result.seconds = t.seconds();
+          result.seconds = wall;
           result.hidden_fraction = driver.overlap_stats().hidden_fraction();
+          result.imbalance = imb.factor();
         }
       },
       options);
@@ -99,6 +107,7 @@ struct Row {
   std::string scenario;
   int n = 0, e = 0, ranks = 0, steps = 0;
   double blocking_s = 0, overlap_s = 0, hidden = 0;
+  double blocking_imb = 1, overlap_imb = 1;  // max/mean busy CPU time
   double speedup() const { return blocking_s / overlap_s; }
 };
 
@@ -168,11 +177,14 @@ int main(int argc, char** argv) {
       row.e = cfg.ex;
       row.ranks = ranks;
       row.steps = steps;
-      row.blocking_s = best_run(ranks, cfg, steps, nullptr, reps).seconds;
+      RunResult blocking = best_run(ranks, cfg, steps, nullptr, reps);
+      row.blocking_s = blocking.seconds;
+      row.blocking_imb = blocking.imbalance;
       cfg.overlap = true;
       RunResult overlap = best_run(ranks, cfg, steps, nullptr, reps);
       row.overlap_s = overlap.seconds;
       row.hidden = overlap.hidden_fraction;
+      row.overlap_imb = overlap.imbalance;
       rows.push_back(row);
       std::printf("sweep  N=%2d %d^3 elems %d ranks: blocking %.4fs "
                   "overlapped %.4fs (%.2fx, %.0f%% hidden)\n",
@@ -206,11 +218,14 @@ int main(int argc, char** argv) {
     row.e = cfg.ex;
     row.ranks = ranks;
     row.steps = 2 * steps;
-    row.blocking_s = best_run(ranks, cfg, row.steps, &policy, reps).seconds;
+    RunResult blocking = best_run(ranks, cfg, row.steps, &policy, reps);
+    row.blocking_s = blocking.seconds;
+    row.blocking_imb = blocking.imbalance;
     cfg.overlap = true;
     RunResult overlap = best_run(ranks, cfg, row.steps, &policy, reps);
     row.overlap_s = overlap.seconds;
     row.hidden = overlap.hidden_fraction;
+    row.overlap_imb = overlap.imbalance;
     rows.push_back(row);
     std::printf("chaos  N=%2d %d^3 elems %d ranks (jitter stragglers): "
                 "blocking %.4fs overlapped %.4fs (%.2fx, %.0f%% hidden)\n",
@@ -220,14 +235,15 @@ int main(int argc, char** argv) {
 
   util::Table table({"scenario", "N", "elems/dir", "ranks",
                      "blocking (s)", "overlapped (s)", "speedup",
-                     "hidden frac"});
+                     "hidden frac", "imbalance"});
   table.set_title("Split-phase exchange overlap study");
   for (const Row& r : rows) {
     table.add_row({r.scenario, std::to_string(r.n), std::to_string(r.e),
                    std::to_string(r.ranks), util::Table::num(r.blocking_s, 4),
                    util::Table::num(r.overlap_s, 4),
                    util::Table::num(r.speedup(), 2),
-                   util::Table::num(r.hidden, 2)});
+                   util::Table::num(r.hidden, 2),
+                   util::Table::num(r.blocking_imb, 2)});
   }
   std::printf("\n%s\n", table.str().c_str());
 
@@ -245,6 +261,9 @@ int main(int argc, char** argv) {
                "  \"chaos_straggler\": \"sparse heavy delay jitter "
                "(delay_probability 0.08, max 10ms): a different rank "
                "straggles each exchange window\",\n"
+               "  \"imbalance\": \"max/mean busy thread-CPU seconds across "
+               "ranks (1.0 = perfectly balanced); see bench/balance_study "
+               "for the dynamic balancer that drives it down\",\n"
                "  \"results\": [\n",
                reps, steps);
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -253,9 +272,12 @@ int main(int argc, char** argv) {
                  "    {\"scenario\": \"%s\", \"n\": %d, \"elems_per_dir\": "
                  "%d, \"ranks\": %d, \"steps\": %d, "
                  "\"blocking_seconds\": %.6f, \"overlap_seconds\": %.6f, "
-                 "\"speedup\": %.3f, \"hidden_fraction\": %.3f}%s\n",
+                 "\"speedup\": %.3f, \"hidden_fraction\": %.3f, "
+                 "\"blocking_imbalance\": %.4f, \"overlap_imbalance\": "
+                 "%.4f}%s\n",
                  r.scenario.c_str(), r.n, r.e, r.ranks, r.steps,
                  r.blocking_s, r.overlap_s, r.speedup(), r.hidden,
+                 r.blocking_imb, r.overlap_imb,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

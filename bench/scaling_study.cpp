@@ -4,18 +4,25 @@
 // size, frequency, average distance etc. of these communication routines is
 // important for improving the scaling behavior of the software"). This
 // bench sweeps rank counts in strong (fixed global problem) and weak
-// (fixed per-rank problem) modes and reports per-step times and parallel
-// efficiency.
+// (fixed per-rank problem) modes and reports per-step times, parallel
+// efficiency, and the per-rank imbalance factor (max/mean busy thread-CPU
+// time) — the quantity the dynamic load balancer (src/balance) drives
+// toward 1.
 //
 // NOTE: ranks are threads sharing this machine's cores; on a single core
 // the wall-clock "speedup" is bounded by 1 and the interesting output is
 // the overhead growth — on a real cluster the same harness measures true
-// scaling.
+// scaling. The imbalance factor uses per-thread CPU time and is meaningful
+// either way.
 //
 // Usage: scaling_study [--max-ranks 16] [--n 8] [--steps 2]
+//                      [--json BENCH_scaling.json]
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "balance/rebalancer.hpp"
 #include "comm/runtime.hpp"
 #include "core/driver.hpp"
 #include "prof/timer.hpp"
@@ -26,20 +33,39 @@ namespace {
 
 using namespace cmtbone;
 
-double time_per_step(int ranks, const core::Config& cfg, int steps) {
-  double seconds = 0.0;
+struct StepResult {
+  double seconds = 0.0;    // rank-0 wall clock per step
+  double imbalance = 1.0;  // max/mean busy thread-CPU time across ranks
+};
+
+StepResult time_per_step(int ranks, const core::Config& cfg, int steps) {
+  StepResult result;
   comm::run(ranks, [&](comm::Comm& world) {
     core::Driver driver(world, cfg);
     driver.initialize(driver.default_ic());
     driver.step();  // warm-up step (first-touch, gs plans)
+    driver.reset_balance_stats();
     world.barrier();
     prof::WallTimer t;
     driver.run(steps);
     world.barrier();
-    if (world.rank() == 0) seconds = t.seconds() / steps;
+    const double wall = t.seconds();
+    const balance::Imbalance imb = balance::measure_imbalance(
+        world, driver.balance_stats().busy_seconds());
+    if (world.rank() == 0) {
+      result.seconds = wall / steps;
+      result.imbalance = imb.factor();
+    }
   });
-  return seconds;
+  return result;
 }
+
+struct Row {
+  std::string mode;  // "strong" | "weak"
+  int ranks = 0;
+  std::string grid;
+  double seconds = 0, efficiency = 0, imbalance = 1;
+};
 
 }  // namespace
 
@@ -47,7 +73,8 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   cli.describe("max-ranks", "largest rank count (default 16)")
       .describe("n", "GLL points per direction (default 8)")
-      .describe("steps", "timed steps per point (default 2)");
+      .describe("steps", "timed steps per point (default 2)")
+      .describe("json", "output file (default BENCH_scaling.json)");
   if (cli.help_requested()) {
     std::printf("%s", cli.usage().c_str());
     return 0;
@@ -57,13 +84,16 @@ int main(int argc, char** argv) {
   const int max_ranks = cli.get_int("max-ranks", 16);
   const int n = cli.get_int("n", 8);
   const int steps = cli.get_int("steps", 2);
+  const std::string json_path = cli.get("json", "BENCH_scaling.json");
 
   std::printf("=== CMT-bone scaling study (threads on this host) ===\n\n");
+
+  std::vector<Row> rows;
 
   // Strong scaling: fixed 8x8x4 global element grid.
   {
     util::Table table({"ranks", "proc grid", "time/step (s)", "vs 1 rank",
-                       "parallel efficiency"});
+                       "parallel efficiency", "imbalance"});
     table.set_title("Strong scaling: 8x8x4 elements, N=" + std::to_string(n));
     double t1 = 0.0;
     for (int p = 1; p <= max_ranks; p *= 2) {
@@ -76,22 +106,32 @@ int main(int argc, char** argv) {
       cfg.px = grid[0];
       cfg.py = grid[1];
       cfg.pz = grid[2];
-      double t = time_per_step(p, cfg, steps);
-      if (p == 1) t1 = t;
+      StepResult r = time_per_step(p, cfg, steps);
+      if (p == 1) t1 = r.seconds;
       char grid_str[32];
       std::snprintf(grid_str, sizeof grid_str, "%dx%dx%d", grid[0], grid[1],
                     grid[2]);
-      table.add_row({std::to_string(p), grid_str, util::Table::sci(t, 3),
-                     util::Table::num(t1 / t, 2),
-                     util::Table::pct(t1 / t / p)});
+      Row row;
+      row.mode = "strong";
+      row.ranks = p;
+      row.grid = grid_str;
+      row.seconds = r.seconds;
+      row.efficiency = t1 / r.seconds / p;
+      row.imbalance = r.imbalance;
+      rows.push_back(row);
+      table.add_row({std::to_string(p), grid_str,
+                     util::Table::sci(r.seconds, 3),
+                     util::Table::num(t1 / r.seconds, 2),
+                     util::Table::pct(row.efficiency),
+                     util::Table::num(r.imbalance, 2)});
     }
     std::printf("%s\n", table.str().c_str());
   }
 
   // Weak scaling: 8 elements per rank.
   {
-    util::Table table(
-        {"ranks", "global elements", "time/step (s)", "weak efficiency"});
+    util::Table table({"ranks", "global elements", "time/step (s)",
+                       "weak efficiency", "imbalance"});
     table.set_title("Weak scaling: 2x2x2 elements per rank, N=" +
                     std::to_string(n));
     double t1 = 0.0;
@@ -105,14 +145,51 @@ int main(int argc, char** argv) {
       cfg.ex = 2 * grid[0];
       cfg.ey = 2 * grid[1];
       cfg.ez = 2 * grid[2];
-      double t = time_per_step(p, cfg, steps);
-      if (p == 1) t1 = t;
+      StepResult r = time_per_step(p, cfg, steps);
+      if (p == 1) t1 = r.seconds;
       char elems[32];
       std::snprintf(elems, sizeof elems, "%dx%dx%d", cfg.ex, cfg.ey, cfg.ez);
-      table.add_row({std::to_string(p), elems, util::Table::sci(t, 3),
-                     util::Table::pct(t1 / t)});
+      Row row;
+      row.mode = "weak";
+      row.ranks = p;
+      row.grid = elems;
+      row.seconds = r.seconds;
+      row.efficiency = t1 / r.seconds;
+      row.imbalance = r.imbalance;
+      rows.push_back(row);
+      table.add_row({std::to_string(p), elems, util::Table::sci(r.seconds, 3),
+                     util::Table::pct(row.efficiency),
+                     util::Table::num(r.imbalance, 2)});
     }
     std::printf("%s\n", table.str().c_str());
   }
+
+  FILE* out = std::fopen(json_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"scaling_study\",\n"
+               "  \"n\": %d,\n"
+               "  \"steps\": %d,\n"
+               "  \"imbalance\": \"max/mean busy thread-CPU seconds across "
+               "ranks over the timed steps (1.0 = perfectly balanced); the "
+               "quantity the dynamic load balancer drives toward 1\",\n"
+               "  \"results\": [\n",
+               n, steps);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"ranks\": %d, \"grid\": \"%s\", "
+                 "\"seconds_per_step\": %.6f, \"efficiency\": %.4f, "
+                 "\"imbalance\": %.4f}%s\n",
+                 r.mode.c_str(), r.ranks, r.grid.c_str(), r.seconds,
+                 r.efficiency, r.imbalance, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("(json written to %s)\n", json_path.c_str());
   return 0;
 }

@@ -1,0 +1,45 @@
+#include "balance/cost_model.hpp"
+
+namespace cmtbone::balance {
+
+void CostModel::observe(const prof::BalanceStats& window, int nel,
+                        long long particles) {
+  if (config_.mode != CostMode::kMeasured) return;
+  if (window.steps <= 0 || nel <= 0) return;
+
+  const double grid_rate = window.grid_seconds / nel;
+  if (!calibrated_) {
+    grid_unit_ = grid_rate;
+  } else {
+    grid_unit_ = config_.ewma * grid_rate + (1.0 - config_.ewma) * grid_unit_;
+  }
+  // Particle rate only updates when particles were actually resident; an
+  // empty window would otherwise divide by zero (and carries no signal).
+  if (particles > 0) {
+    const double particle_rate = window.particle_seconds / particles;
+    if (particle_unit_ == 0.0) {
+      particle_unit_ = particle_rate;
+    } else {
+      particle_unit_ =
+          config_.ewma * particle_rate + (1.0 - config_.ewma) * particle_unit_;
+    }
+  }
+  calibrated_ = true;
+}
+
+std::vector<double> CostModel::element_costs(
+    std::span<const int> particle_count) const {
+  std::vector<double> cost(particle_count.size());
+  if (config_.mode == CostMode::kMeasured && calibrated_) {
+    for (std::size_t e = 0; e < cost.size(); ++e) {
+      cost[e] = grid_unit_ + particle_unit_ * particle_count[e];
+    }
+  } else {
+    for (std::size_t e = 0; e < cost.size(); ++e) {
+      cost[e] = 1.0 + config_.particle_weight * particle_count[e];
+    }
+  }
+  return cost;
+}
+
+}  // namespace cmtbone::balance

@@ -1,0 +1,64 @@
+#pragma once
+// Measured per-element cost model for dynamic load balancing.
+//
+// Zhai et al. (PAPERS.md) balance CMT-nek by attributing measured work to
+// elements. We model a rank's busy time as
+//
+//     busy ≈ grid_unit * nel + particle_unit * (resident particles)
+//
+// and fit the two unit rates per rank by exponentially-weighted averaging
+// of the driver's BalanceStats windows. An element's cost is then
+//
+//     cost(e) = grid_unit + particle_unit * count(e)
+//
+// with count(e) the particles resident in e. The rates are *rank-local*:
+// a rank slowed by an external straggler (the chaos rank-slowdown fault)
+// reports proportionally higher unit costs for the elements it owns, so
+// the repartitioner sheds elements from it — measurement, not prediction,
+// exactly the mini-app's "proxy the behavior" philosophy.
+//
+// kParticleCount mode replaces the measured rates with the deterministic
+// surrogate cost(e) = 1 + particle_weight * count(e); the determinism tests
+// use it so rebalance *decisions* (not just results) reproduce run to run.
+
+#include <span>
+#include <vector>
+
+#include "prof/balance.hpp"
+
+namespace cmtbone::balance {
+
+enum class CostMode { kMeasured, kParticleCount };
+
+struct CostModelConfig {
+  CostMode mode = CostMode::kMeasured;
+  double ewma = 0.5;             // weight of the newest window in the rates
+  double particle_weight = 4.0;  // kParticleCount: cost units per particle
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const CostModelConfig& config = {}) : config_(config) {}
+
+  /// Feed one observation window: `window` seconds split over `nel` local
+  /// elements and `particles` resident particles.
+  void observe(const prof::BalanceStats& window, int nel, long long particles);
+
+  /// Per-element costs given resident particle counts (one entry per local
+  /// element). Before the first observe() the measured mode falls back to
+  /// the deterministic surrogate so the first epoch still balances.
+  std::vector<double> element_costs(std::span<const int> particle_count) const;
+
+  double grid_unit() const { return grid_unit_; }
+  double particle_unit() const { return particle_unit_; }
+  bool calibrated() const { return calibrated_; }
+  const CostModelConfig& config() const { return config_; }
+
+ private:
+  CostModelConfig config_;
+  double grid_unit_ = 0;
+  double particle_unit_ = 0;
+  bool calibrated_ = false;
+};
+
+}  // namespace cmtbone::balance

@@ -1,0 +1,56 @@
+#pragma once
+// Cost-weighted repartitioning: the decision half of dynamic load balancing.
+//
+// Every rank assembles the identical dense cost-by-gid array (allgatherv is
+// byte-deterministic: gather to rank 0 + broadcast), then runs the identical
+// greedy refinement, so the proposed owner map is replicated without a
+// second collective. Refinement moves one element at a time from the most
+// loaded rank to the least loaded, preferring elements adjacent to the
+// acceptor's region (to limit surface growth), bounded by max_moves per
+// epoch — incremental diffusion rather than scratch repartitioning, which
+// keeps per-epoch migration volume small and bounded.
+
+#include <span>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "mesh/layout.hpp"
+
+namespace cmtbone::balance {
+
+struct RebalanceConfig {
+  int max_moves = 8;         // elements migrated per epoch, at most
+  double threshold = 1.05;   // act only when max/mean load exceeds this
+};
+
+struct RebalancePlan {
+  std::vector<int> owner;       // proposed gid -> rank map
+  int moves = 0;                // elements reassigned vs. the input layout
+  double imbalance_before = 1;  // max/mean cost load of the input layout
+  double imbalance_after = 1;   // same for the proposed map
+};
+
+/// Assemble local per-element costs (one per local element, ascending-gid
+/// order) into the dense global cost-by-gid array. Collective; returns the
+/// identical array on every rank.
+std::vector<double> gather_global_costs(comm::Comm& comm,
+                                        const mesh::ElementLayout& layout,
+                                        std::span<const double> local_cost);
+
+/// Deterministic greedy refinement of `layout` under `cost` (dense by gid).
+/// Pure replicated computation — identical inputs give identical plans on
+/// every rank. Never empties a rank.
+RebalancePlan propose_owner(const mesh::ElementLayout& layout,
+                            std::span<const double> cost,
+                            const RebalanceConfig& config);
+
+/// Cross-rank max/mean of a busy-time sample (the imbalance factor the
+/// benches report). Collective.
+struct Imbalance {
+  double max_busy = 0;
+  double mean_busy = 0;
+  double factor() const { return mean_busy > 0 ? max_busy / mean_busy : 1.0; }
+};
+Imbalance measure_imbalance(comm::Comm& comm, double busy_seconds);
+
+}  // namespace cmtbone::balance

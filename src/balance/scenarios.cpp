@@ -1,0 +1,50 @@
+#include "balance/scenarios.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace cmtbone::balance {
+
+namespace {
+double wrap01(double v) {
+  v -= std::floor(v);
+  return v >= 1.0 ? v - 1.0 : v;
+}
+}  // namespace
+
+std::vector<particles::Particle> clustered_cloud(const ClusterSpec& spec) {
+  util::SplitMix64 rng(spec.seed);
+  std::vector<particles::Particle> cloud;
+  cloud.reserve(std::size_t(spec.count));
+  for (long long i = 0; i < spec.count; ++i) {
+    particles::Particle p;
+    p.id = i;
+    p.x = wrap01(rng.uniform(spec.center[0] - spec.radius,
+                             spec.center[0] + spec.radius));
+    p.y = wrap01(rng.uniform(spec.center[1] - spec.radius,
+                             spec.center[1] + spec.radius));
+    p.z = wrap01(rng.uniform(spec.center[2] - spec.radius,
+                             spec.center[2] + spec.radius));
+    cloud.push_back(p);
+  }
+  return cloud;
+}
+
+std::vector<particles::Particle> front_cloud(const FrontSpec& spec,
+                                             double position) {
+  util::SplitMix64 rng(spec.seed);
+  std::vector<particles::Particle> cloud;
+  cloud.reserve(std::size_t(spec.count));
+  for (long long i = 0; i < spec.count; ++i) {
+    particles::Particle p;
+    p.id = i;
+    p.x = wrap01(position + rng.uniform(0.0, spec.width));
+    p.y = rng.uniform(0.0, 1.0);
+    p.z = rng.uniform(0.0, 1.0);
+    cloud.push_back(p);
+  }
+  return cloud;
+}
+
+}  // namespace cmtbone::balance

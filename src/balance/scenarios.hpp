@@ -1,0 +1,44 @@
+#pragma once
+// Workload generators for the load-balancing study: particle distributions
+// that concentrate work on few ranks, the regime where static partitioning
+// loses (the multiphase "dense cluster" and "moving front" cases of the
+// CMT-nek problem class).
+//
+// Each generator builds the *full* global particle list from a seed, with
+// no rank-dependent input, so every rank produces the identical list and
+// Tracker::adopt_global keeps the owned subset — the particle set is a
+// function of the scenario alone, never of the current element layout.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "particles/tracker.hpp"
+
+namespace cmtbone::balance {
+
+struct ClusterSpec {
+  long long count = 4096;
+  std::array<double, 3> center = {0.25, 0.25, 0.5};
+  double radius = 0.2;  // half-width of the cluster cube, domain units
+  std::uint64_t seed = 1;
+};
+
+/// Dense cluster: particles uniform in the cube center ± radius (wrapped
+/// into the unit domain). All the particle work lands on the few ranks
+/// whose elements cover the cluster.
+std::vector<particles::Particle> clustered_cloud(const ClusterSpec& spec);
+
+struct FrontSpec {
+  long long count = 4096;
+  double width = 0.2;  // slab thickness along x, domain units
+  std::uint64_t seed = 1;
+};
+
+/// Moving dense front: particles uniform in the slab x in
+/// [position, position + width) (wrapped), y and z uniform. Advancing
+/// `position` between epochs sweeps the hot region across rank boundaries.
+std::vector<particles::Particle> front_cloud(const FrontSpec& spec,
+                                             double position);
+
+}  // namespace cmtbone::balance

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "balance/cost_model.hpp"
 #include "gs/gather_scatter.hpp"
 #include "kernels/dispatch.hpp"
 #include "kernels/gradient.hpp"
@@ -119,6 +120,31 @@ struct Config {
   /// conservation-law source term R of paper Eq. 1, which current CMT-bone
   /// sets to zero; "complete multiphase coupling" is the §III-A roadmap).
   double particle_coupling = 0.0;
+
+  /// Dynamic load balancing (balance/): every `balance_interval` steps the
+  /// driver assembles measured per-element costs, runs the replicated
+  /// greedy repartitioner, and migrates elements (fields + resident
+  /// particles) to the proposed owners. 0 = static partition. A nonzero
+  /// interval implies `ordered_gs` — the layout-invariant reduction order
+  /// is what makes balanced runs bit-identical to static ordered runs.
+  int balance_interval = 0;
+  /// Elements migrated per rebalance epoch, at most (bounded diffusion).
+  int balance_max_moves = 8;
+  /// Rebalance only when max/mean cost load exceeds this factor.
+  double balance_threshold = 1.05;
+  /// Cost attribution: measured EWMA rates, or the deterministic
+  /// particle-count surrogate (see balance/cost_model.hpp).
+  balance::CostMode balance_cost_mode = balance::CostMode::kMeasured;
+  /// EWMA weight of the newest measurement window (measured mode).
+  double balance_ewma = 0.5;
+  /// Cost units per resident particle (particle-count mode).
+  double balance_particle_weight = 4.0;
+
+  /// Use ordered (key-canonical) gather-scatter folds even without dynamic
+  /// balancing — the static reference configuration the balanced-vs-static
+  /// bit-identity tests compare against. Changes dssum/face-gs reduction
+  /// order (still deterministic, different bits from the default methods).
+  bool ordered_gs = false;
 
   double cfl = 0.3;
   double fixed_dt = 0.0;  // > 0 overrides the CFL computation

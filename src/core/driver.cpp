@@ -1,16 +1,19 @@
 #include "core/driver.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 
+#include "balance/rebalancer.hpp"
 #include "core/flux.hpp"
 #include "io/checkpoint.hpp"
 #include "io/vtk.hpp"
 #include "kernels/div.hpp"
 #include "kernels/gradient.hpp"
 #include "kernels/tensor.hpp"
+#include "kernels/vecops.hpp"
 #include "mesh/face_numbering.hpp"
 #include "mesh/numbering.hpp"
 #include "parallel/parallel.hpp"
@@ -98,35 +101,67 @@ Driver::Driver(comm::Comm& comm, const Config& config)
       config_(config),
       spec_(make_spec(config, comm.size())),
       part_(spec_, comm.rank()),
+      layout_(mesh::ElementLayout::block(spec_, comm.rank())),
       ops_(sem::Operators::build(config.n)),
       threads_(parallel::resolve_threads(config.threads_per_rank)) {
   if (config_.kernel_backend) {
     kernels::set_forced_backend(*config_.kernel_backend);
   }
 
-  exchange_ = std::make_unique<mesh::FaceExchange>(comm, part_);
+  balance::CostModelConfig cm;
+  cm.mode = config_.balance_cost_mode;
+  cm.ewma = config_.balance_ewma;
+  cm.particle_weight = config_.balance_particle_weight;
+  cost_model_ = balance::CostModel(cm);
+
+  h_ = {1.0 / spec_.ex, 1.0 / spec_.ey, 1.0 / spec_.ez};
+
+  rebuild_topology();
+
+  if (config_.particles_per_rank > 0) {
+    tracker_ = std::make_unique<particles::Tracker>(comm, part_, ops_);
+    tracker_->seed_random(config_.particles_per_rank, config_.particle_seed);
+  }
+}
+
+void Driver::rebuild_topology() {
+  const bool ordered = ordered_gs_enabled();
+
+  // For the block layout the generalized plans coincide exactly with the
+  // static Partition plans, so this path is bit-identical to the historical
+  // Partition-based construction.
+  exchange_ = std::make_unique<mesh::FaceExchange>(*comm_, layout_);
   exchange_->set_threads(threads_);
 
   {
     prof::ScopedRegion region("gs_setup");
-    std::vector<long long> ids = mesh::global_gll_ids(part_);
-    gs_ = std::make_unique<gs::GatherScatter>(comm, std::span<const long long>(ids),
-                                              config.gs_method);
+    std::vector<long long> ids = mesh::global_gll_ids(layout_);
+    if (ordered) {
+      std::vector<long long> keys = mesh::global_gll_keys(layout_);
+      gs_ = std::make_unique<gs::GatherScatter>(
+          *comm_, std::span<const long long>(ids), config_.gs_method,
+          std::span<const long long>(keys));
+    } else {
+      gs_ = std::make_unique<gs::GatherScatter>(
+          *comm_, std::span<const long long>(ids), config_.gs_method);
+    }
   }
 
   const int n = config_.n;
-  const int nel = part_.nel();
+  const int nel = layout_.nel();
   pts_ = std::size_t(n) * n * n * nel;
   const int nf = nfields();
 
-  classes_ = mesh::classify_interior_boundary(part_);
+  classes_ = mesh::classify_interior_boundary(layout_);
   all_elems_.resize(nel);
   std::iota(all_elems_.begin(), all_elems_.end(), 0);
 
+  // u_ carries state across a rebalance: migrate_fields() resized it to the
+  // new layout before this runs. Everything else is per-step scratch.
   auto alloc_fields = [&](std::vector<std::vector<double>>& v) {
     v.assign(nf, std::vector<double>(pts_, 0.0));
   };
-  alloc_fields(u_);
+  if (u_.empty()) alloc_fields(u_);
   alloc_fields(u1_);
   alloc_fields(u2_);
   alloc_fields(rhs_);
@@ -134,6 +169,9 @@ Driver::Driver(comm::Comm& comm, const Config& config)
   grad_scratch_.assign(pts_, 0.0);
   if (config_.fused_divergence) {
     for (auto& buf : flux_fused_) buf.assign(pts_, 0.0);
+    // div3_dispatch scratch: two gradient blocks per element, indexed by
+    // 2*base so parallel element ranges stay disjoint.
+    div_work_.assign(2 * pts_, 0.0);
   }
   myfaces_.assign(mesh::face_array_size(n, nel) * nf, 0.0);
   nbrfaces_.assign(mesh::face_array_size(n, nel) * nf, 0.0);
@@ -154,9 +192,16 @@ Driver::Driver(comm::Comm& comm, const Config& config)
 
   if (config_.face_backend == FaceBackend::kGatherScatter) {
     prof::ScopedRegion region("gs_setup (faces)");
-    std::vector<long long> fids = mesh::face_point_gids(part_);
-    face_gs_ = std::make_unique<gs::GatherScatter>(
-        comm, std::span<const long long>(fids), config_.gs_method);
+    std::vector<long long> fids = mesh::face_point_gids(layout_);
+    if (ordered) {
+      std::vector<long long> fkeys = mesh::face_point_keys(layout_);
+      face_gs_ = std::make_unique<gs::GatherScatter>(
+          *comm_, std::span<const long long>(fids), config_.gs_method,
+          std::span<const long long>(fkeys));
+    } else {
+      face_gs_ = std::make_unique<gs::GatherScatter>(
+          *comm_, std::span<const long long>(fids), config_.gs_method);
+    }
     // Interior mask from the multiplicity trick: interior face points have
     // exactly two copies, physical-boundary points one.
     std::vector<double> ones(fids.size(), 1.0);
@@ -166,17 +211,10 @@ Driver::Driver(comm::Comm& comm, const Config& config)
       face_interior_[s] = ones[s] > 1.5 ? 1 : 0;
     }
   }
-
-  h_ = {1.0 / spec_.ex, 1.0 / spec_.ey, 1.0 / spec_.ez};
-
-  if (config_.particles_per_rank > 0) {
-    tracker_ = std::make_unique<particles::Tracker>(comm, part_, ops_);
-    tracker_->seed_random(config_.particles_per_rank, config_.particle_seed);
-  }
 }
 
 std::array<double, 3> Driver::node_coords(int e, int i, int j, int k) const {
-  auto g = part_.global_coords(e);
+  auto g = layout_.global_coords(e);
   const std::vector<double>& r = ops_.rule.nodes;
   return {(g[0] + 0.5 * (r[i] + 1.0)) * h_[0],
           (g[1] + 0.5 * (r[j] + 1.0)) * h_[1],
@@ -216,7 +254,7 @@ void Driver::initialize(const FieldFunction& ic) {
   const int n = config_.n;
   for (int f = 0; f < nfields(); ++f) {
     std::size_t idx = 0;
-    for (int e = 0; e < part_.nel(); ++e) {
+    for (int e = 0; e < layout_.nel(); ++e) {
       for (int k = 0; k < n; ++k) {
         for (int j = 0; j < n; ++j) {
           for (int i = 0; i < n; ++i) {
@@ -263,6 +301,18 @@ double Driver::compute_dt() {
 void Driver::compute_rhs(const std::vector<std::vector<double>>& u,
                          std::vector<std::vector<double>>& rhs) {
   prof::ScopedRegion region("compute_rhs");
+  // Cost-model attribution: thread-CPU time of the whole evaluation minus
+  // the particle share (deposit), accumulated per measurement window. The
+  // CPU clock charges a rank only for work it executed itself — comm waits
+  // (condvar sleeps) and time descheduled in favor of other rank-threads on
+  // an oversubscribed host accrue nothing — so per-element unit rates stay
+  // meaningful whether ranks are processes on dedicated nodes or threads
+  // sharing one test core. (With threads_per_rank > 1 the pool workers'
+  // share of grid time is not charged to this thread; that scales the grid
+  // unit rate down uniformly and cancels out of the relative comparison the
+  // repartitioner makes.)
+  prof::CpuTimer cost_timer;
+  rhs_particle_seconds_ = 0.0;
   for (int f = 0; f < nfields(); ++f) {
     std::fill(rhs[f].begin(), rhs[f].end(), 0.0);
   }
@@ -271,6 +321,9 @@ void Driver::compute_rhs(const std::vector<std::vector<double>>& u,
   } else {
     compute_rhs_blocking(u, rhs);
   }
+  const double grid = cost_timer.seconds() - rhs_particle_seconds_;
+  balance_window_.grid_seconds += grid;
+  balance_total_.grid_seconds += grid;
 }
 
 void Driver::compute_rhs_blocking(const std::vector<std::vector<double>>& u,
@@ -416,11 +469,12 @@ void Driver::volume_term_range(const std::vector<std::vector<double>>& u,
             }
           }
         }
-        kernels::div3(ops_.d.data(), flux_fused_[0].data() + base,
-                      flux_fused_[1].data() + base,
-                      flux_fused_[2].data() + base,
-                      grad_scratch_.data() + base, n, m, 2.0 / h_[0],
-                      2.0 / h_[1], 2.0 / h_[2]);
+        kernels::div3_dispatch(ops_.d.data(), flux_fused_[0].data() + base,
+                               flux_fused_[1].data() + base,
+                               flux_fused_[2].data() + base,
+                               grad_scratch_.data() + base, n, m, 2.0 / h_[0],
+                               2.0 / h_[1], 2.0 / h_[2],
+                               div_work_.data() + 2 * base);
         for (std::size_t p = base; p < base + cnt; ++p) {
           rhs[f][p] -= grad_scratch_[p];
         }
@@ -482,7 +536,7 @@ void Driver::dealias_term(const std::vector<std::vector<double>>& u) {
   const int n = config_.n;
   const std::size_t elem = std::size_t(n) * n * n;
   const int last = nfields() - 1;  // energy field
-  for (int e = 0; e < part_.nel(); ++e) {
+  for (int e = 0; e < layout_.nel(); ++e) {
     kernels::dealias_roundtrip(ops_.interp.data(), ops_.interp_t.data(),
                                ops_.m, n, u[last].data() + e * elem,
                                dealias_fine_.data(), dealias_back_.data(),
@@ -495,16 +549,21 @@ void Driver::particle_source(std::vector<std::vector<double>>& rhs) {
   // Multiphase source term (paper Eq. 1's R).
   if (!tracker_ || config_.particle_coupling == 0.0) return;
   prof::ScopedRegion src_region("particle_source");
+  prof::CpuTimer t;
   // Deposit onto the x-momentum equation (drag-like forcing); for the
   // single-field advection mode the scalar itself receives the source.
   const int target = nfields() >= 2 ? 1 : 0;
   tracker_->deposit_all(rhs[target].data(), config_.particle_coupling);
+  const double s = t.seconds();
+  rhs_particle_seconds_ += s;
+  balance_window_.particle_seconds += s;
+  balance_total_.particle_seconds += s;
 }
 
 void Driver::pack_faces(const std::vector<std::vector<double>>& u) {
   prof::ScopedRegion f2f_region("full2face_cmt");
   const int n = config_.n;
-  const int nel = part_.nel();
+  const int nel = layout_.nel();
   const std::size_t fsz = mesh::face_array_size(n, nel);
   for (int f = 0; f < nfields(); ++f) {
     mesh::full2face(u[f].data(), myfaces_.data() + f * fsz, n, nel);
@@ -530,7 +589,7 @@ void Driver::surface_term_range(std::vector<std::vector<double>>& rhs,
   const int n = config_.n;
   const int nf = nfields();
   const double gamma = config_.gamma;
-  const std::size_t fsz = mesh::face_array_size(n, part_.nel());
+  const std::size_t fsz = mesh::face_array_size(n, layout_.nel());
   const std::vector<double>& w = ops_.rule.weights;
   const double w_edge = w[0];  // == w[n-1]
   const std::size_t elem = std::size_t(n) * n * n;
@@ -589,7 +648,7 @@ void Driver::gs_faces_subtract() {
   // Each interior face point has exactly two copies, so the gs_op(add)
   // yielded mine+neighbor; subtracting my value leaves the neighbor's.
   // Physical-boundary points (single copy) mirror mine.
-  const std::size_t fsz = mesh::face_array_size(config_.n, part_.nel());
+  const std::size_t fsz = mesh::face_array_size(config_.n, layout_.nel());
   for (int f = 0; f < nfields(); ++f) {
     double* nbr = nbrfaces_.data() + f * fsz;
     const double* mine = myfaces_.data() + f * fsz;
@@ -615,7 +674,7 @@ void Driver::apply_dssum() {
   prof::ScopedRegion region("gs_op_ (dssum)");
   for (int f = 0; f < nfields(); ++f) {
     gs_->exec(std::span<double>(u_[f]), gs::ReduceOp::kSum);
-    for (std::size_t p = 0; p < pts_; ++p) u_[f][p] *= inv_multiplicity_[p];
+    kernels::pointwise_scale(u_[f].data(), inv_multiplicity_.data(), pts_);
   }
 }
 
@@ -668,10 +727,14 @@ void Driver::step() {
 
   time_ += dt;
   ++steps_;
+  ++balance_window_.steps;
+  ++balance_total_.steps;
+  maybe_rebalance();
 }
 
 void Driver::step_particles(double dt) {
   prof::ScopedRegion region("particle_tracking");
+  prof::CpuTimer cost_timer;
   if (config_.physics == Physics::kEuler) {
     // Interpolate the carrier flow: v = momentum / density, computed
     // pointwise into the stage scratch (free between steps).
@@ -686,6 +749,9 @@ void Driver::step_particles(double dt) {
     tracker_->advance(config_.velocity, dt);
   }
   tracker_->migrate();
+  const double s = cost_timer.seconds();
+  balance_window_.particle_seconds += s;
+  balance_total_.particle_seconds += s;
 }
 
 void Driver::step_rk4(double dt) {
@@ -739,7 +805,7 @@ double Driver::run(int nsteps, const StepHook& after_step) {
 
 long long Driver::flops_per_rhs() const {
   const int n = config_.n;
-  const int nel = part_.nel();
+  const int nel = layout_.nel();
   const int nf = nfields();
   const long long n3 = 1LL * n * n * n;
   // Per direction and field: one derivative (2 N^4 per element), the
@@ -757,7 +823,7 @@ long long Driver::flops_per_step() const {
 std::vector<std::byte> Driver::serialize_checkpoint(long long epoch) const {
   io::CheckpointHeader header;
   header.n = config_.n;
-  header.nel = part_.nel();
+  header.nel = layout_.nel();
   header.nfields = nfields();
   header.steps = steps_;
   header.time = time_;
@@ -766,8 +832,11 @@ std::vector<std::byte> Driver::serialize_checkpoint(long long epoch) const {
   std::vector<const double*> fields;
   fields.reserve(u_.size());
   for (const auto& f : u_) fields.push_back(f.data());
-  return io::serialize_checkpoint(
-      header, std::span<const double* const>(fields), pts_);
+  const std::vector<int>& own = layout_.owner();
+  std::vector<std::int32_t> owner32(own.begin(), own.end());
+  return io::serialize_checkpoint(header,
+                                  std::span<const double* const>(fields), pts_,
+                                  std::span<const std::int32_t>(owner32));
 }
 
 void Driver::save_checkpoint_file(const std::string& path,
@@ -776,11 +845,30 @@ void Driver::save_checkpoint_file(const std::string& path,
 }
 
 void Driver::restore_state(const io::CheckpointHeader& header,
-                           std::vector<std::vector<double>>&& fields) {
-  if (header.n != config_.n || header.nel != part_.nel() ||
-      header.nfields != nfields()) {
+                           std::vector<std::vector<double>>&& fields,
+                           std::span<const std::int32_t> owner) {
+  if (header.n != config_.n || header.nfields != nfields()) {
     throw std::runtime_error(
         "load_checkpoint: geometry mismatch with this configuration");
+  }
+  // Resolve the layout the checkpoint was taken under: the stored v3 owner
+  // map, or the static block partition for v1/v2 files.
+  mesh::ElementLayout saved =
+      owner.empty()
+          ? mesh::ElementLayout::block(spec_, comm_->rank())
+          : mesh::ElementLayout(spec_, comm_->rank(),
+                                std::vector<int>(owner.begin(), owner.end()));
+  if (header.nel != saved.nel()) {
+    throw std::runtime_error(
+        "load_checkpoint: geometry mismatch with this configuration");
+  }
+  if (!saved.same_ownership(layout_)) {
+    layout_ = std::move(saved);
+    rebuild_topology();
+    if (tracker_) {
+      tracker_->set_layout(layout_);
+      tracker_->migrate();
+    }
   }
   for (int f = 0; f < nfields(); ++f) u_[f] = std::move(fields[f]);
   time_ = header.time;
@@ -789,8 +877,10 @@ void Driver::restore_state(const io::CheckpointHeader& header,
 
 void Driver::load_checkpoint_file(const std::string& path) {
   std::vector<std::vector<double>> fields;
-  io::CheckpointHeader header = io::read_checkpoint(path, &fields);
-  restore_state(header, std::move(fields));
+  std::vector<std::int32_t> owner;
+  io::CheckpointHeader header = io::read_checkpoint(path, &fields, &owner);
+  restore_state(header, std::move(fields),
+                std::span<const std::int32_t>(owner));
 }
 
 void Driver::save_checkpoint(const std::string& directory,
@@ -833,7 +923,7 @@ double Driver::l2_norm(int f) {
   const double jac = 0.125 * h_[0] * h_[1] * h_[2];
   double sum = 0.0;
   std::size_t idx = 0;
-  for (int e = 0; e < part_.nel(); ++e) {
+  for (int e = 0; e < layout_.nel(); ++e) {
     for (int k = 0; k < n; ++k) {
       for (int j = 0; j < n; ++j) {
         for (int i = 0; i < n; ++i) {
@@ -853,7 +943,7 @@ double Driver::integral(int f) {
   const double jac = 0.125 * h_[0] * h_[1] * h_[2];
   double sum = 0.0;
   std::size_t idx = 0;
-  for (int e = 0; e < part_.nel(); ++e) {
+  for (int e = 0; e < layout_.nel(); ++e) {
     for (int k = 0; k < n; ++k) {
       for (int j = 0; j < n; ++j) {
         for (int i = 0; i < n; ++i) {
@@ -870,7 +960,7 @@ double Driver::linf_error(const FieldFunction& exact) {
   double err = 0.0;
   for (int f = 0; f < nfields(); ++f) {
     std::size_t idx = 0;
-    for (int e = 0; e < part_.nel(); ++e) {
+    for (int e = 0; e < layout_.nel(); ++e) {
       for (int k = 0; k < n; ++k) {
         for (int j = 0; j < n; ++j) {
           for (int i = 0; i < n; ++i) {
@@ -883,6 +973,148 @@ double Driver::linf_error(const FieldFunction& exact) {
     }
   }
   return comm_->allreduce_one(err, comm::ReduceOp::kMax);
+}
+
+// --- dynamic load balancing --------------------------------------------------
+
+void Driver::migrate_fields(const mesh::ElementLayout& next) {
+  const int nf = nfields();
+  const std::size_t epts =
+      std::size_t(config_.n) * config_.n * config_.n;
+  const int nranks = comm_->size();
+  const int me = comm_->rank();
+
+  // Pack leaving elements grouped by destination rank, ascending gid within
+  // each group. Both sides hold the replicated owner maps, so the receiver
+  // can reconstruct exactly which gids arrive from whom — but shipping the
+  // gids alongside keeps the wire format self-describing.
+  std::vector<int> gid_counts(nranks, 0), val_counts(nranks, 0);
+  std::vector<long long> send_gids;
+  std::vector<double> send_vals;
+  for (int dest = 0; dest < nranks; ++dest) {
+    if (dest == me) continue;
+    for (int e = 0; e < layout_.nel(); ++e) {
+      const long long g = layout_.gid_of(e);
+      if (next.owner_of_gid(g) != dest) continue;
+      send_gids.push_back(g);
+      ++gid_counts[dest];
+      for (int f = 0; f < nf; ++f) {
+        const double* src = u_[f].data() + std::size_t(e) * epts;
+        send_vals.insert(send_vals.end(), src, src + epts);
+      }
+      val_counts[dest] += int(nf * epts);
+    }
+  }
+
+  std::vector<long long> arrived_gids = comm_->alltoallv(
+      std::span<const long long>(send_gids), gid_counts);
+  std::vector<double> arrived_vals = comm_->alltoallv(
+      std::span<const double>(send_vals), val_counts);
+
+  // Record i of the arrival stream owns arrived_vals[i*nf*epts ...): the
+  // value and gid streams were packed congruently. Index by gid.
+  std::vector<std::size_t> order(arrived_gids.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return arrived_gids[a] < arrived_gids[b];
+  });
+
+  // Assemble the new local field set in the next layout's ascending-gid
+  // local order from kept + arrived elements.
+  std::vector<std::vector<double>> nu(
+      nf, std::vector<double>(std::size_t(next.nel()) * epts));
+  for (int e2 = 0; e2 < next.nel(); ++e2) {
+    const long long g = next.gid_of(e2);
+    const int e1 = layout_.local_of_gid(g);
+    if (e1 >= 0) {
+      for (int f = 0; f < nf; ++f) {
+        std::copy_n(u_[f].data() + std::size_t(e1) * epts, epts,
+                    nu[f].data() + std::size_t(e2) * epts);
+      }
+    } else {
+      auto it = std::lower_bound(
+          order.begin(), order.end(), g,
+          [&](std::size_t a, long long gid) { return arrived_gids[a] < gid; });
+      if (it == order.end() || arrived_gids[*it] != g) {
+        throw std::logic_error("migrate_fields: expected element never arrived");
+      }
+      const double* blk = arrived_vals.data() + *it * nf * epts;
+      for (int f = 0; f < nf; ++f) {
+        std::copy_n(blk + std::size_t(f) * epts, epts,
+                    nu[f].data() + std::size_t(e2) * epts);
+      }
+    }
+  }
+  u_ = std::move(nu);
+}
+
+void Driver::apply_layout(const std::vector<int>& owner) {
+  mesh::ElementLayout next(spec_, comm_->rank(), owner);
+  if (next.same_ownership(layout_)) return;
+  migrate_fields(next);
+  layout_ = std::move(next);
+  rebuild_topology();
+  if (tracker_) {
+    tracker_->set_layout(layout_);
+    // Re-home resident particles: ownership moved under them, so each rank
+    // routes the particles it no longer owns (collective; ends with the
+    // canonical id sort, keeping deposit order layout-invariant).
+    tracker_->migrate();
+  }
+}
+
+int Driver::rebalance_now() {
+  prof::ScopedRegion region("rebalance");
+  // Epoch overhead (decision + migration + topology rebuild) is charged to
+  // the run-total busy time so the balanced run pays for its own machinery
+  // in every busy-time comparison; it never enters the measurement window
+  // the cost model fits unit rates from.
+  prof::CpuTimer epoch_timer;
+  std::vector<int> counts =
+      tracker_ ? tracker_->count_per_element()
+               : std::vector<int>(std::size_t(layout_.nel()), 0);
+  const long long local_particles =
+      tracker_ ? static_cast<long long>(tracker_->local_count()) : 0;
+  cost_model_.observe(balance_window_, layout_.nel(), local_particles);
+  balance_window_.reset();
+
+  std::vector<double> cost = cost_model_.element_costs(counts);
+  std::vector<double> dense =
+      balance::gather_global_costs(*comm_, layout_, cost);
+  balance::RebalanceConfig rc;
+  rc.max_moves = config_.balance_max_moves;
+  rc.threshold = config_.balance_threshold;
+  balance::RebalancePlan plan = balance::propose_owner(layout_, dense, rc);
+  if (plan.moves > 0) {
+    apply_layout(plan.owner);
+    ++balance_epochs_;
+    balance_moves_ += plan.moves;
+  }
+  balance_total_.rebalance_seconds += epoch_timer.seconds();
+  return plan.moves;
+}
+
+void Driver::maybe_rebalance() {
+  if (config_.balance_interval <= 0) return;
+  if (steps_ % config_.balance_interval != 0) return;
+  rebalance_now();
+}
+
+std::vector<double> Driver::gather_global_field(int f) const {
+  const std::size_t epts =
+      std::size_t(config_.n) * config_.n * config_.n;
+  std::vector<long long> gids = layout_.owned_gids();
+  std::vector<long long> all_gids =
+      comm_->allgatherv(std::span<const long long>(gids));
+  std::vector<double> all_vals =
+      comm_->allgatherv(std::span<const double>(u_[f]));
+  std::vector<double> dense(
+      std::size_t(layout_.total_elements()) * epts, 0.0);
+  for (std::size_t i = 0; i < all_gids.size(); ++i) {
+    std::copy_n(all_vals.begin() + i * epts, epts,
+                dense.begin() + std::size_t(all_gids[i]) * epts);
+  }
+  return dense;
 }
 
 }  // namespace cmtbone::core

@@ -20,13 +20,16 @@
 #include <span>
 #include <vector>
 
+#include "balance/cost_model.hpp"
 #include "comm/comm.hpp"
 #include "core/config.hpp"
 #include "gs/gather_scatter.hpp"
 #include "io/checkpoint.hpp"
 #include "mesh/face_exchange.hpp"
+#include "mesh/layout.hpp"
 #include "mesh/partition.hpp"
 #include "particles/tracker.hpp"
+#include "prof/balance.hpp"
 #include "prof/overlap.hpp"
 #include "sem/operators.hpp"
 
@@ -77,6 +80,9 @@ class Driver {
   double linf_error(const FieldFunction& exact);
 
   const mesh::Partition& partition() const { return part_; }
+  /// Current element ownership (the block layout until a rebalance moves
+  /// elements; local indices are ascending-gid over the owned set).
+  const mesh::ElementLayout& element_layout() const { return layout_; }
   const Config& config() const { return config_; }
   const sem::Operators& operators() const { return ops_; }
   gs::GatherScatter& gather_scatter() { return *gs_; }
@@ -90,6 +96,34 @@ class Driver {
   /// Accumulated split-phase exchange timing (empty unless config.overlap).
   const prof::OverlapStats& overlap_stats() const { return overlap_stats_; }
   void reset_overlap_stats() { overlap_stats_.reset(); }
+
+  // --- dynamic load balancing ---------------------------------------------
+  /// Adopt an explicit gid -> rank ownership map (collective): migrate the
+  /// conserved fields and resident particles to the new owners and rebuild
+  /// every layout-derived structure (exchange plans, gs handles, element
+  /// classes, scratch sizes). With ordered_gs/balancing enabled the fields
+  /// after migration are bit-identical to what a run that always owned this
+  /// layout would hold.
+  void apply_layout(const std::vector<int>& owner);
+  /// Run one rebalance epoch now (collective): observe the cost window,
+  /// propose a repartition, and apply it if it moves anything. Returns the
+  /// number of elements migrated.
+  int rebalance_now();
+
+  /// Busy-time accounting since the last reset (grid + particle seconds);
+  /// the cost model consumes the per-epoch window internally, this total
+  /// is for the benches' imbalance-factor reports.
+  const prof::BalanceStats& balance_stats() const { return balance_total_; }
+  void reset_balance_stats() { balance_total_.reset(); }
+  /// Rebalance epochs applied and total elements migrated so far.
+  long long rebalance_epochs() const { return balance_epochs_; }
+  long long rebalance_moves() const { return balance_moves_; }
+  const balance::CostModel& cost_model() const { return cost_model_; }
+
+  /// Assemble one field into the dense global-by-gid array (collective;
+  /// identical on every rank): element gid g occupies [g*n^3, (g+1)*n^3).
+  /// The layout-independent view the determinism tests compare.
+  std::vector<double> gather_global_field(int f) const;
 
   /// Payload bytes this rank sends per RHS evaluation (face exchange only).
   long long face_bytes_per_rhs() const {
@@ -115,11 +149,16 @@ class Driver {
   void save_checkpoint_file(const std::string& path, long long epoch = -1) const;
   void load_checkpoint_file(const std::string& path);
   /// This rank's checkpoint as the exact bytes save_checkpoint_file would
-  /// write (v2 header with CRC32, rank, and `epoch`).
+  /// write (v3 header with CRC32, rank, `epoch`, and the element-ownership
+  /// map, so a rebalanced run restores into the layout it saved from).
   std::vector<std::byte> serialize_checkpoint(long long epoch = -1) const;
   /// Adopt a parsed checkpoint (geometry-checked) as the current state.
+  /// `owner` is the v3 ownership map (empty for v1/v2 files, which imply
+  /// the static block partition). Collective when the stored layout differs
+  /// from the current one — every rank restores together anyway.
   void restore_state(const io::CheckpointHeader& header,
-                     std::vector<std::vector<double>>&& fields);
+                     std::vector<std::vector<double>>&& fields,
+                     std::span<const std::int32_t> owner = {});
   /// Export this rank's fields as a legacy-VTK point cloud.
   void export_vtk(const std::string& path) const;
 
@@ -160,10 +199,25 @@ class Driver {
   void step_particles(double dt);
   double local_max_wavespeed(int axis) const;
 
+  /// Ordered (key-canonical) gs folds: explicit knob or implied by dynamic
+  /// balancing, which needs layout-invariant reduction order.
+  bool ordered_gs_enabled() const {
+    return config_.ordered_gs || config_.balance_interval > 0;
+  }
+  /// (Re)build everything derived from layout_: exchange/gs handles,
+  /// element classes, buffer sizes, multiplicity. Collective. Called at
+  /// construction and after every ownership change.
+  void rebuild_topology();
+  /// Ship the conserved fields to the owners under `next` (collective;
+  /// u_ afterwards holds the new local set in ascending-gid order).
+  void migrate_fields(const mesh::ElementLayout& next);
+  void maybe_rebalance();
+
   comm::Comm* comm_;
   Config config_;
   mesh::BoxSpec spec_;
   mesh::Partition part_;
+  mesh::ElementLayout layout_;
   sem::Operators ops_;
   int threads_ = 1;  // resolved threads_per_rank (config knob or env)
   mesh::ElementClasses classes_;
@@ -181,6 +235,15 @@ class Driver {
 
   std::unique_ptr<particles::Tracker> tracker_;
 
+  // Load-balancing state: the cost model's per-epoch measurement window,
+  // the run-total busy accounting, and applied-epoch counters.
+  balance::CostModel cost_model_;
+  prof::BalanceStats balance_window_;
+  prof::BalanceStats balance_total_;
+  double rhs_particle_seconds_ = 0;  // particle share of the current rhs
+  long long balance_epochs_ = 0;
+  long long balance_moves_ = 0;
+
   double time_ = 0.0;
   long steps_ = 0;
 
@@ -190,6 +253,7 @@ class Driver {
   std::vector<std::vector<double>> flux_;   // pointwise flux, per field
   std::array<std::vector<double>, 3> flux_fused_;  // per-axis flux (fused path)
   std::vector<double> grad_scratch_;
+  std::vector<double> div_work_;  // div3_dispatch scratch (fused path only)
   std::vector<double> myfaces_, nbrfaces_;  // nfields stacked face arrays
   std::vector<double> dealias_fine_, dealias_back_, dealias_work_;
   double dealias_checksum_ = 0.0;

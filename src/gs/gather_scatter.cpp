@@ -11,6 +11,9 @@ namespace cmtbone::gs {
 
 namespace {
 constexpr int kPairwiseTag = 7;
+// Ordered-mode setup handshake (copy counts, then copy keys, per neighbor).
+constexpr int kOrderedCountTag = 8;
+constexpr int kOrderedKeyTag = 9;
 }  // namespace
 
 const char* method_name(Method m) {
@@ -35,7 +38,8 @@ T GatherScatter::identity(ReduceOp op) {
 }
 
 GatherScatter::GatherScatter(comm::Comm& comm,
-                             std::span<const long long> slot_ids, Method method)
+                             std::span<const long long> slot_ids, Method method,
+                             std::span<const long long> slot_keys)
     : comm_(&comm),
       topo_(gs_setup(comm, slot_ids)),
       method_(method),
@@ -61,7 +65,321 @@ GatherScatter::GatherScatter(comm::Comm& comm,
     }
   }
 
-  if (method_ == Method::kAuto) method_ = tune();
+  if (!slot_keys.empty()) setup_ordered(slot_keys);
+
+  // Ordered mode always runs its own (pairwise-pattern) exchange; kAuto
+  // would time algorithms the handle never uses.
+  if (method_ == Method::kAuto) {
+    method_ = ordered_ ? Method::kPairwise : tune();
+  }
+}
+
+// --- ordered mode -----------------------------------------------------------
+//
+// Setup builds, per global id, a canonical fold *program* over all of the
+// id's copies, ordered by each copy's globally-unique key. At exec time
+// every sharer of an id receives every other sharer's raw copy values and
+// folds the full copy list (its own included) in ascending-key order,
+// starting from the op identity. A private id folds its local copies the
+// same way. Since the (key, value) multiset of an id's copies does not
+// depend on which rank holds which copy, neither does the fold — the bits
+// are invariant under element migration.
+
+void GatherScatter::setup_ordered(std::span<const long long> slot_keys) {
+  ordered_ = true;
+  const std::size_t nunique = topo_.unique_ids.size();
+  const std::size_t nslots = topo_.unique_of_slot.size();
+
+  // Slots grouped by unique id, ascending by key within each group.
+  std::vector<int> count(nunique, 0);
+  for (std::size_t s = 0; s < nslots; ++s) ++count[topo_.unique_of_slot[s]];
+  ordered_begin_.assign(nunique + 1, 0);
+  for (std::size_t u = 0; u < nunique; ++u) {
+    ordered_begin_[u + 1] = ordered_begin_[u] + count[u];
+  }
+  ordered_slots_.resize(nslots);
+  std::vector<int> cursor(ordered_begin_.begin(), ordered_begin_.end() - 1);
+  for (std::size_t s = 0; s < nslots; ++s) {
+    ordered_slots_[cursor[topo_.unique_of_slot[s]]++] = int(s);
+  }
+  for (std::size_t u = 0; u < nunique; ++u) {
+    std::sort(ordered_slots_.begin() + ordered_begin_[u],
+              ordered_slots_.begin() + ordered_begin_[u + 1],
+              [&](int a, int b) { return slot_keys[a] < slot_keys[b]; });
+  }
+
+  shared_of_unique_.assign(nunique, -1);
+  for (std::size_t s = 0; s < topo_.shared.size(); ++s) {
+    shared_of_unique_[topo_.shared[s].unique_index] = int(s);
+  }
+  my_copy_offset_.assign(topo_.shared.size() + 1, 0);
+  for (std::size_t s = 0; s < topo_.shared.size(); ++s) {
+    const int u = topo_.shared[s].unique_index;
+    my_copy_offset_[s + 1] =
+        my_copy_offset_[s] + (ordered_begin_[u + 1] - ordered_begin_[u]);
+  }
+
+  // Handshake with each pairwise neighbor: my per-entry copy counts, then
+  // the copy keys (each entry's keys already ascending). Both sides walk
+  // the shared entries in the same (id) order, so arrays line up.
+  const std::size_t nnbr = pairwise_plan_.size();
+  std::vector<std::vector<int>> send_counts(nnbr), recv_counts(nnbr);
+  std::vector<comm::Request> reqs;
+  reqs.reserve(nnbr);
+  std::size_t b = 0;
+  for (const auto& [neighbor, entries] : pairwise_plan_) {
+    recv_counts[b].resize(entries.size());
+    reqs.push_back(comm_->irecv(std::span<int>(recv_counts[b]), neighbor,
+                                kOrderedCountTag));
+    ++b;
+  }
+  b = 0;
+  for (const auto& [neighbor, entries] : pairwise_plan_) {
+    std::vector<int>& sc = send_counts[b++];
+    sc.reserve(entries.size());
+    for (int s : entries) {
+      sc.push_back(my_copy_offset_[s + 1] - my_copy_offset_[s]);
+    }
+    comm_->isend(std::span<const int>(sc), neighbor, kOrderedCountTag);
+  }
+  comm_->waitall(reqs);
+
+  nbr_copy_total_.assign(nnbr, 0);
+  for (std::size_t i = 0; i < nnbr; ++i) {
+    for (int c : recv_counts[i]) nbr_copy_total_[i] += std::size_t(c);
+  }
+
+  std::vector<std::vector<long long>> send_keys(nnbr), recv_keys(nnbr);
+  reqs.clear();
+  b = 0;
+  for (const auto& [neighbor, entries] : pairwise_plan_) {
+    (void)entries;
+    recv_keys[b].resize(nbr_copy_total_[b]);
+    reqs.push_back(comm_->irecv(std::span<long long>(recv_keys[b]), neighbor,
+                                kOrderedKeyTag));
+    ++b;
+  }
+  b = 0;
+  for (const auto& [neighbor, entries] : pairwise_plan_) {
+    std::vector<long long>& sk = send_keys[b++];
+    for (int s : entries) {
+      const int u = topo_.shared[s].unique_index;
+      for (int i = ordered_begin_[u]; i < ordered_begin_[u + 1]; ++i) {
+        sk.push_back(slot_keys[ordered_slots_[i]]);
+      }
+    }
+    comm_->isend(std::span<const long long>(sk), neighbor, kOrderedKeyTag);
+  }
+  comm_->waitall(reqs);
+
+  // Merge program: per shared entry, every copy (mine and each sharer's)
+  // sorted ascending by key. Keys are globally unique, so every sharer
+  // derives the identical order from the identical key multiset.
+  struct Cand {
+    long long key;
+    int src, idx;
+  };
+  std::vector<std::vector<Cand>> cand(topo_.shared.size());
+  for (std::size_t s = 0; s < topo_.shared.size(); ++s) {
+    const int u = topo_.shared[s].unique_index;
+    for (int i = ordered_begin_[u]; i < ordered_begin_[u + 1]; ++i) {
+      cand[s].push_back({slot_keys[ordered_slots_[i]], -1,
+                         my_copy_offset_[s] + (i - ordered_begin_[u])});
+    }
+  }
+  b = 0;
+  for (const auto& [neighbor, entries] : pairwise_plan_) {
+    (void)neighbor;
+    int pos = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      for (int j = 0; j < recv_counts[b][i]; ++j) {
+        cand[entries[i]].push_back({recv_keys[b][pos], int(b), pos});
+        ++pos;
+      }
+    }
+    ++b;
+  }
+  merge_begin_.assign(topo_.shared.size() + 1, 0);
+  merge_steps_.clear();
+  for (std::size_t s = 0; s < topo_.shared.size(); ++s) {
+    std::sort(cand[s].begin(), cand[s].end(),
+              [](const Cand& a, const Cand& c) { return a.key < c.key; });
+    for (const Cand& c : cand[s]) merge_steps_.push_back({c.src, c.idx});
+    merge_begin_[s + 1] = int(merge_steps_.size());
+  }
+}
+
+template <class T>
+void GatherScatter::ordered_gather(std::span<const T> values, int nfields,
+                                   ReduceOp op, std::vector<T>& unique,
+                                   std::vector<T>& mine) const {
+  const std::size_t slots = values.size() / nfields;
+  const std::size_t nf = std::size_t(nfields);
+  unique.assign(topo_.unique_ids.size() * nf, identity<T>(op));
+  mine.resize(std::size_t(my_copy_offset_.back()) * nf);
+  for (std::size_t u = 0; u < topo_.unique_ids.size(); ++u) {
+    const int s = shared_of_unique_[u];
+    if (s < 0) {
+      // Private id: fold local copies ascending by key — the same sequence
+      // the merge program would produce were the copies split across ranks.
+      T* uv = unique.data() + u * nf;
+      for (int i = ordered_begin_[u]; i < ordered_begin_[u + 1]; ++i) {
+        const std::size_t slot = std::size_t(ordered_slots_[i]);
+        for (std::size_t f = 0; f < nf; ++f) {
+          uv[f] = comm::apply(op, uv[f], values[f * slots + slot]);
+        }
+      }
+    } else {
+      // Shared id: stage raw copies; folding happens after the exchange.
+      for (int i = ordered_begin_[u]; i < ordered_begin_[u + 1]; ++i) {
+        const std::size_t slot = std::size_t(ordered_slots_[i]);
+        T* dst =
+            mine.data() +
+            (std::size_t(my_copy_offset_[s]) + (i - ordered_begin_[u])) * nf;
+        for (std::size_t f = 0; f < nf; ++f) dst[f] = values[f * slots + slot];
+      }
+    }
+  }
+}
+
+template <class T>
+void GatherScatter::ordered_fold_shared(
+    int nfields, ReduceOp op, std::vector<T>& unique,
+    const std::vector<T>& mine,
+    const std::vector<std::vector<T>>& recvbuf) const {
+  const std::size_t nf = std::size_t(nfields);
+  for (std::size_t s = 0; s < topo_.shared.size(); ++s) {
+    T* uv = unique.data() + std::size_t(topo_.shared[s].unique_index) * nf;
+    for (int m = merge_begin_[s]; m < merge_begin_[s + 1]; ++m) {
+      const MergeStep& st = merge_steps_[m];
+      const T* v = (st.src < 0 ? mine.data() : recvbuf[st.src].data()) +
+                   std::size_t(st.idx) * nf;
+      for (std::size_t f = 0; f < nf; ++f) {
+        uv[f] = comm::apply(op, uv[f], v[f]);
+      }
+    }
+  }
+}
+
+template <class T>
+void GatherScatter::exec_ordered(std::span<T> values, int nfields,
+                                 ReduceOp op) {
+  comm::SiteScope site("gs_op");
+  const std::size_t slots = values.size() / nfields;
+  const std::size_t nf = std::size_t(nfields);
+
+  std::vector<T> unique, mine;
+  ordered_gather(std::span<const T>(values.data(), values.size()), nfields, op,
+                 unique, mine);
+
+  // Ship raw copies to every sharer (pairwise pattern, slightly larger
+  // payload than the pre-reduced pairwise method for edge/corner ids).
+  comm::SiteScope psite("gs_op.pairwise");
+  std::vector<std::vector<T>> sendbuf, recvbuf;
+  std::vector<comm::Request> reqs;
+  sendbuf.reserve(pairwise_plan_.size());
+  recvbuf.reserve(pairwise_plan_.size());
+  reqs.reserve(pairwise_plan_.size());
+  std::size_t b = 0;
+  for (const auto& [neighbor, entries] : pairwise_plan_) {
+    (void)entries;
+    recvbuf.emplace_back(nbr_copy_total_[b++] * nf);
+    reqs.push_back(
+        comm_->irecv(std::span<T>(recvbuf.back()), neighbor, kPairwiseTag));
+  }
+  for (const auto& [neighbor, entries] : pairwise_plan_) {
+    auto& buf = sendbuf.emplace_back();
+    for (int s : entries) {
+      const T* src = mine.data() + std::size_t(my_copy_offset_[s]) * nf;
+      buf.insert(buf.end(), src,
+                 src + std::size_t(my_copy_offset_[s + 1] -
+                                   my_copy_offset_[s]) * nf);
+    }
+    comm_->isend(std::span<const T>(buf), neighbor, kPairwiseTag);
+  }
+  comm_->waitall(reqs);
+
+  ordered_fold_shared(nfields, op, unique, mine, recvbuf);
+
+  for (std::size_t s = 0; s < slots; ++s) {
+    const T* u = unique.data() + topo_.unique_of_slot[s] * nf;
+    for (std::size_t f = 0; f < nf; ++f) values[f * slots + s] = u[f];
+  }
+}
+
+void GatherScatter::exec_ordered_begin(std::span<double> values, int nfields,
+                                       ReduceOp op) {
+  comm::SiteScope site("gs_op");
+  split_.active = true;
+  split_.done_in_begin = false;
+  split_.values = values;
+  split_.nfields = nfields;
+  split_.op = op;
+
+  ordered_gather(std::span<const double>(values.data(), values.size()),
+                 nfields, op, split_.unique, split_.mine);
+
+  const std::size_t nf = std::size_t(nfields);
+  comm::SiteScope psite("gs_op.pairwise");
+  try {
+    split_.sendbuf.resize(pairwise_plan_.size());
+    split_.recvbuf.resize(pairwise_plan_.size());
+    split_.reqs.clear();
+    split_.reqs.reserve(pairwise_plan_.size());
+    std::size_t b = 0;
+    for (const auto& [neighbor, entries] : pairwise_plan_) {
+      (void)entries;
+      std::vector<double>& rb = split_.recvbuf[b];
+      rb.resize(nbr_copy_total_[b] * nf);
+      ++b;
+      split_.reqs.push_back(
+          comm_->irecv(std::span<double>(rb), neighbor, kPairwiseTag));
+    }
+    b = 0;
+    for (const auto& [neighbor, entries] : pairwise_plan_) {
+      std::vector<double>& sb = split_.sendbuf[b++];
+      sb.clear();
+      for (int s : entries) {
+        const double* src =
+            split_.mine.data() + std::size_t(my_copy_offset_[s]) * nf;
+        sb.insert(sb.end(), src,
+                  src + std::size_t(my_copy_offset_[s + 1] -
+                                    my_copy_offset_[s]) * nf);
+      }
+      comm_->isend(std::span<const double>(sb), neighbor, kPairwiseTag);
+    }
+  } catch (...) {
+    abandon_split();
+    throw;
+  }
+}
+
+void GatherScatter::exec_ordered_finish() {
+  split_.active = false;
+  comm::SiteScope site("gs_op");
+  const std::size_t nf = std::size_t(split_.nfields);
+  const std::size_t slots = split_.values.size() / split_.nfields;
+
+  {
+    comm::SiteScope psite("gs_op.pairwise");
+    try {
+      comm_->waitall(split_.reqs);
+    } catch (...) {
+      abandon_split();
+      throw;
+    }
+    split_.reqs.clear();
+  }
+
+  ordered_fold_shared(split_.nfields, split_.op, split_.unique, split_.mine,
+                      split_.recvbuf);
+
+  for (std::size_t s = 0; s < slots; ++s) {
+    const double* u = split_.unique.data() + topo_.unique_of_slot[s] * nf;
+    for (std::size_t f = 0; f < nf; ++f) {
+      split_.values[f * slots + s] = u[f];
+    }
+  }
 }
 
 void GatherScatter::exec(std::span<double> values, ReduceOp op) {
@@ -94,6 +412,10 @@ void GatherScatter::abandon_split() {
 
 void GatherScatter::exec_many_begin(std::span<double> values, int nfields,
                                     ReduceOp op) {
+  if (ordered_) {
+    exec_ordered_begin(values, nfields, op);
+    return;
+  }
   comm::SiteScope site("gs_op");
   split_.active = true;
   split_.values = values;
@@ -169,6 +491,10 @@ void GatherScatter::exec_many_begin(std::span<double> values, int nfields,
 
 void GatherScatter::exec_many_finish() {
   if (!split_.active) return;
+  if (ordered_) {
+    exec_ordered_finish();
+    return;
+  }
   split_.active = false;
   if (split_.done_in_begin) return;
 
@@ -215,6 +541,12 @@ void GatherScatter::exec_many_finish() {
 template <class T>
 void GatherScatter::exec_impl(std::span<T> values, int nfields, ReduceOp op,
                               Method method) {
+  if (ordered_) {
+    // The ordered fold program replaces all three exchange methods; a
+    // per-call method request cannot be honored without changing the bits.
+    exec_ordered(values, nfields, op);
+    return;
+  }
   comm::SiteScope site("gs_op");
   const std::size_t slots = values.size() / nfields;
   const std::size_t nf = std::size_t(nfields);
@@ -399,6 +731,8 @@ void GatherScatter::exec_allreduce(std::vector<T>& unique_values, int nfields,
 // --- startup tuning (the Fig. 7 measurement) -----------------------------------
 
 Method GatherScatter::tune(int repetitions) {
+  // Ordered handles run one fixed exchange; there is nothing to tune.
+  if (ordered_) return method_;
   tuning_.clear();
   const Method methods[] = {Method::kPairwise, Method::kCrystalRouter,
                             Method::kAllReduce};

@@ -39,8 +39,24 @@ class GatherScatter {
  public:
   /// Collective. `slot_ids`: one global id per local data slot. With
   /// kAuto, runs the startup tuning pass and picks the fastest method.
+  ///
+  /// `slot_keys`, when non-empty (one key per slot, globally unique across
+  /// all ranks' slots), switches the handle to *ordered* mode: every
+  /// gs_op folds the copies of each id in ascending-key order, starting
+  /// from the op identity, no matter which rank holds which copy. Keys
+  /// derive from global mesh coordinates (mesh::global_gll_keys /
+  /// face_point_keys), so the reduction order — and hence every result
+  /// bit — is invariant under element migration between ranks: the load
+  /// balancer's "migration changes *where*, never *what*" anchor. Ordered
+  /// mode exchanges raw per-copy values with each sharer (a pairwise-style
+  /// pattern, slightly larger messages for edge/corner ids) and ignores
+  /// the configured exchange method.
   GatherScatter(comm::Comm& comm, std::span<const long long> slot_ids,
-                Method method = Method::kAuto);
+                Method method = Method::kAuto,
+                std::span<const long long> slot_keys = {});
+
+  /// True when constructed with per-slot keys (layout-invariant folds).
+  bool ordered() const { return ordered_; }
 
   /// Withdraws any split-phase receives still posted (a chaos abort or
   /// peer failure can unwind the owner between begin() and finish()), so
@@ -131,6 +147,27 @@ class GatherScatter {
   template <class T>
   static T identity(ReduceOp op);
 
+  // Ordered mode: build the per-id fold programs from per-slot keys
+  // (called at construction when slot_keys is non-empty).
+  void setup_ordered(std::span<const long long> slot_keys);
+  // Ordered gs_op: private ids fold their local copies in key order;
+  // shared ids ship raw per-copy values to every sharer and every sharer
+  // folds the full copy list via the precomputed merge program.
+  template <class T>
+  void exec_ordered(std::span<T> values, int nfields, ReduceOp op);
+  // Split-phase ordered gs_op (double-only, like exec_many_begin/finish).
+  void exec_ordered_begin(std::span<double> values, int nfields, ReduceOp op);
+  void exec_ordered_finish();
+  // Shared phases: gather private folds + stage my shared copies (`mine`),
+  // and fold shared entries from mine + per-neighbor recv buffers.
+  template <class T>
+  void ordered_gather(std::span<const T> values, int nfields, ReduceOp op,
+                      std::vector<T>& unique, std::vector<T>& mine) const;
+  template <class T>
+  void ordered_fold_shared(int nfields, ReduceOp op, std::vector<T>& unique,
+                           const std::vector<T>& mine,
+                           const std::vector<std::vector<T>>& recvbuf) const;
+
   // Withdraw any posted split-phase receives and clear the in-flight state;
   // the unwind path shared by the destructor and begin()/finish() failure
   // handling.
@@ -140,6 +177,29 @@ class GatherScatter {
   Topology topo_;
   Method method_;
   std::vector<TuneRow> tuning_;
+
+  // --- ordered-mode fold programs (empty unless ordered_) -----------------
+  bool ordered_ = false;
+  // Local slots grouped by unique id, each group sorted ascending by key:
+  // unique u's slots are ordered_slots_[ordered_begin_[u] .. ordered_begin_[u+1]).
+  std::vector<int> ordered_slots_;
+  std::vector<int> ordered_begin_;
+  // Per unique id: its topo_.shared entry, or -1 when private to this rank.
+  std::vector<int> shared_of_unique_;
+  // My copies of shared entry s occupy flat-buffer positions
+  // [my_copy_offset_[s], my_copy_offset_[s+1]) — same slot order as above.
+  std::vector<int> my_copy_offset_;
+  // Copies each pairwise neighbor sends me per exec (neighbors in
+  // pairwise_plan_ map order, the order recv buffers are indexed by).
+  std::vector<std::size_t> nbr_copy_total_;
+  // Merge program: shared entry s folds steps
+  // [merge_begin_[s], merge_begin_[s+1]) in ascending-key order.
+  struct MergeStep {
+    int src;  // -1 = my flat copy buffer, else neighbor position in plan order
+    int idx;  // copy index within that source buffer
+  };
+  std::vector<MergeStep> merge_steps_;
+  std::vector<int> merge_begin_;
 
   // Pairwise plan: per neighbor rank, the shared entries (as indices into
   // topo_.shared, whose id order both sides agree on).
@@ -162,6 +222,7 @@ class GatherScatter {
     int nfields = 0;
     ReduceOp op = ReduceOp::kSum;
     std::vector<double> unique;
+    std::vector<double> mine;  // ordered mode: my shared copies, flat
     std::vector<std::vector<double>> sendbuf, recvbuf;  // one per neighbor
     std::vector<comm::Request> reqs;
   };

@@ -26,11 +26,12 @@ using File = std::unique_ptr<std::FILE, FileCloser>;
   throw std::runtime_error("checkpoint " + path + ": " + what);
 }
 
-// Sanity checks shared by v1 and v2 parses.
+// Sanity checks shared by all parses (runs on the v1 header prefix, which
+// already contains the version field).
 void check_plausible(const CheckpointHeader& h, const std::string& path) {
   CheckpointHeader expected;
   if (h.magic != expected.magic) fail(path, "bad magic");
-  if (h.version != 1 && h.version != 2) fail(path, "unsupported version");
+  if (h.version < 1 || h.version > 3) fail(path, "unsupported version");
   if (h.n < 2 || h.nel < 0 || h.nfields < 0) fail(path, "implausible header");
 }
 }  // namespace
@@ -71,53 +72,78 @@ ChecksumMismatch::ChecksumMismatch(std::string file_path, int file_rank,
 
 std::vector<std::byte> serialize_checkpoint(
     const CheckpointHeader& header, std::span<const double* const> fields,
-    std::size_t points) {
+    std::size_t points, std::span<const std::int32_t> owner) {
   if (int(fields.size()) != header.nfields) {
     throw std::runtime_error(
         "checkpoint serialize: field count does not match header");
   }
   CheckpointHeader h = header;
-  h.version = 2;
-  const std::size_t payload = fields.size() * points * sizeof(double);
-  std::vector<std::byte> out(kHeaderBytesV2 + payload);
-  std::byte* dst = out.data() + kHeaderBytesV2;
+  h.version = owner.empty() ? 2 : 3;
+  h.total_elements = static_cast<std::int64_t>(owner.size());
+  const std::size_t header_bytes =
+      owner.empty() ? kHeaderBytesV2 : kHeaderBytesV3;
+  const std::size_t owner_bytes = owner.size() * sizeof(std::int32_t);
+  const std::size_t payload =
+      owner_bytes + fields.size() * points * sizeof(double);
+  std::vector<std::byte> out(header_bytes + payload);
+  std::byte* dst = out.data() + header_bytes;
+  if (!owner.empty()) {
+    util::copy_bytes(dst, owner.data(), owner_bytes);
+    dst += owner_bytes;
+  }
   for (const double* field : fields) {
     util::copy_bytes(dst, field, points * sizeof(double));
     dst += points * sizeof(double);
   }
-  h.payload_crc = crc32(out.data() + kHeaderBytesV2, payload);
-  util::copy_bytes(out.data(), &h, kHeaderBytesV2);
+  h.payload_crc = crc32(out.data() + header_bytes, payload);
+  util::copy_bytes(out.data(), &h, header_bytes);
   return out;
 }
 
 CheckpointHeader parse_checkpoint(std::span<const std::byte> bytes,
                                   const std::string& path,
-                                  std::vector<std::vector<double>>* fields) {
+                                  std::vector<std::vector<double>>* fields,
+                                  std::vector<std::int32_t>* owner) {
   if (bytes.size() < kHeaderBytesV1) fail(path, "truncated header");
   CheckpointHeader header;
   util::copy_bytes(static_cast<void*>(&header), bytes.data(), kHeaderBytesV1);
   check_plausible(header, path);
   std::size_t header_bytes = kHeaderBytesV1;
-  if (header.version == 2) {
-    if (bytes.size() < kHeaderBytesV2) fail(path, "truncated header");
-    util::copy_bytes(static_cast<void*>(&header), bytes.data(), kHeaderBytesV2);
-    header_bytes = kHeaderBytesV2;
+  if (header.version >= 2) {
+    header_bytes = header.version == 2 ? kHeaderBytesV2 : kHeaderBytesV3;
+    if (bytes.size() < header_bytes) fail(path, "truncated header");
+    util::copy_bytes(static_cast<void*>(&header), bytes.data(), header_bytes);
   }
+  if (header.version == 3 && header.total_elements < header.nel) {
+    fail(path, "implausible header (owner map shorter than local count)");
+  }
+  const std::size_t owner_bytes =
+      header.version == 3
+          ? std::size_t(header.total_elements) * sizeof(std::int32_t)
+          : 0;
   const std::size_t points =
       std::size_t(header.n) * header.n * header.n * header.nel;
   const std::size_t payload =
-      std::size_t(header.nfields) * points * sizeof(double);
+      owner_bytes + std::size_t(header.nfields) * points * sizeof(double);
   if (bytes.size() != header_bytes + payload) {
     fail(path, "payload size mismatch (truncated or trailing garbage)");
   }
   const std::byte* src = bytes.data() + header_bytes;
-  if (header.version == 2) {
+  if (header.version >= 2) {
     const std::uint32_t actual = crc32(src, payload);
     if (actual != header.payload_crc) {
       throw ChecksumMismatch(path, header.rank, header.epoch,
                              header.payload_crc, actual);
     }
   }
+  if (owner != nullptr) {
+    owner->assign(header.version == 3 ? std::size_t(header.total_elements) : 0,
+                  0);
+    if (!owner->empty()) {
+      util::copy_bytes(owner->data(), src, owner_bytes);
+    }
+  }
+  src += owner_bytes;
   if (fields != nullptr) {
     fields->assign(header.nfields, std::vector<double>(points));
     for (auto& field : *fields) {
@@ -182,8 +208,9 @@ void write_checkpoint(const std::string& path, const CheckpointHeader& header,
 }
 
 CheckpointHeader read_checkpoint(const std::string& path,
-                                 std::vector<std::vector<double>>* fields) {
-  return parse_checkpoint(read_file(path), path, fields);
+                                 std::vector<std::vector<double>>* fields,
+                                 std::vector<std::int32_t>* owner) {
+  return parse_checkpoint(read_file(path), path, fields, owner);
 }
 
 CheckpointHeader validate_checkpoint(const std::string& path) {

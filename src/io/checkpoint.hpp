@@ -9,6 +9,12 @@
 // checkpoint epoch) followed by the raw field payload. One file per rank,
 // as Nek5000 does in its one-file-per-processor mode.
 //
+// Version 3 (dynamic load balancing) additionally records the element
+// ownership map: the header grows a total_elements count and the payload is
+// prefixed with total_elements int32 owner ranks (the replicated gid->rank
+// map) ahead of the field data; the CRC covers both. Version 1/2 files have
+// no map and imply the static block partition.
+//
 // Durability contract (the resilience layer depends on it):
 //   * Writes are torn-write-safe: the bytes go to `<path>.tmp`, are
 //     fsync'd, and only then renamed over `path`, so a crash mid-write
@@ -35,20 +41,28 @@ struct CheckpointHeader {
   std::int64_t steps = 0;
   double time = 0.0;
   // --- version 2 trailer ---------------------------------------------------
-  std::uint32_t payload_crc = 0;  // CRC32 (IEEE) of the raw field payload
+  std::uint32_t payload_crc = 0;  // CRC32 (IEEE) of the raw payload
   std::int32_t rank = -1;         // writing rank (-1 when not rank-addressed)
   std::int64_t epoch = -1;        // coordinated-checkpoint epoch (-1 = none)
+  // --- version 3 trailer ---------------------------------------------------
+  // Global element count = length of the int32 owner map that prefixes the
+  // payload. 0 in v1/v2 files (static block partition implied).
+  std::int64_t total_elements = 0;
 };
 
 // The on-disk layout is the in-memory layout: the first 40 bytes are the
-// version-1 header, the trailer extends it to 56. Reads of v1 files parse
-// only the prefix, so the struct must never be reordered.
+// version-1 header, the v2 trailer extends it to 56 and the v3 trailer to
+// 64. Reads of older files parse only the prefix, so the struct must never
+// be reordered.
 inline constexpr std::size_t kHeaderBytesV1 = 40;
 inline constexpr std::size_t kHeaderBytesV2 = 56;
-static_assert(sizeof(CheckpointHeader) == kHeaderBytesV2,
+inline constexpr std::size_t kHeaderBytesV3 = 64;
+static_assert(sizeof(CheckpointHeader) == kHeaderBytesV3,
               "checkpoint header layout is part of the file format");
 static_assert(offsetof(CheckpointHeader, payload_crc) == kHeaderBytesV1,
               "v2 trailer must start exactly where the v1 header ended");
+static_assert(offsetof(CheckpointHeader, total_elements) == kHeaderBytesV2,
+              "v3 trailer must start exactly where the v2 header ended");
 
 /// CRC32 (IEEE 802.3, reflected) over `bytes` bytes. Pass the previous
 /// return value as `seed` to checksum data in chunks.
@@ -70,16 +84,20 @@ struct ChecksumMismatch : std::runtime_error {
 /// Serialize header + fields (each `points` doubles) to bytes, filling the
 /// header's payload CRC. The result is exactly what write_checkpoint puts
 /// on disk — the resilience layer ships the same bytes to a buddy rank.
+/// With a non-empty `owner` map the file is written as version 3 (the map
+/// prefixes the field payload); otherwise the historical version-2 bytes.
 std::vector<std::byte> serialize_checkpoint(
     const CheckpointHeader& header, std::span<const double* const> fields,
-    std::size_t points);
+    std::size_t points, std::span<const std::int32_t> owner = {});
 
-/// Parse serialized checkpoint bytes (v1 or v2); validates magic, version,
-/// payload size, and (v2) the payload CRC. Fills `fields` when non-null.
-/// `path` is used only for error messages.
+/// Parse serialized checkpoint bytes (v1..v3); validates magic, version,
+/// payload size, and (v2+) the payload CRC. Fills `fields` and `owner`
+/// when non-null (`owner` is cleared for v1/v2 files — no map stored, the
+/// static block partition is implied). `path` is used only for messages.
 CheckpointHeader parse_checkpoint(std::span<const std::byte> bytes,
                                   const std::string& path,
-                                  std::vector<std::vector<double>>* fields);
+                                  std::vector<std::vector<double>>* fields,
+                                  std::vector<std::int32_t>* owner = nullptr);
 
 /// Durably write `bytes` to `path` via `<path>.tmp` + fsync + atomic
 /// rename. Throws std::runtime_error on I/O failure (the tmp file is
@@ -97,10 +115,11 @@ void write_checkpoint(const std::string& path, const CheckpointHeader& header,
                       std::size_t points);
 
 /// Read a checkpoint; returns the header and fills `fields` (resized to
-/// header.nfields vectors of the stored point count). Validates magic,
-/// version, payload size, and (v2) the payload CRC.
+/// header.nfields vectors of the stored point count) and, for v3 files,
+/// `owner`. Validates magic, version, payload size, and (v2+) the CRC.
 CheckpointHeader read_checkpoint(const std::string& path,
-                                 std::vector<std::vector<double>>* fields);
+                                 std::vector<std::vector<double>>* fields,
+                                 std::vector<std::int32_t>* owner = nullptr);
 
 /// Full-file validation (header + payload CRC) without keeping the data.
 /// Returns the header; throws like read_checkpoint on any defect.

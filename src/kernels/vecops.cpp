@@ -1,0 +1,80 @@
+#include "kernels/vecops.hpp"
+
+namespace cmtbone::kernels {
+
+namespace {
+
+// 4-wide generic vectors: lowered to the widest available hardware vectors
+// (double-pumped SSE2 under the baseline flags) with unaligned moves, same
+// scheme as the simd_kernels TUs. Elementwise use keeps bits; the dot's
+// shape is fixed at 4 lanes regardless of what the hardware provides, so
+// its (reordered) result is identical on every machine.
+typedef double V4 __attribute__((vector_size(32)));
+
+inline V4 load4(const double* p) {
+  V4 v;
+  __builtin_memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline void store4(double* p, V4 v) { __builtin_memcpy(p, &v, sizeof v); }
+
+inline V4 bcast4(double x) { return V4{} + x; }
+
+}  // namespace
+
+void pointwise_scale(double* x, const double* s, std::size_t count) {
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    store4(x + i, load4(x + i) * load4(s + i));
+  }
+  for (; i < count; ++i) x[i] *= s[i];
+}
+
+void combine_div3(double* out, const double* gs, const double* gt, double sx,
+                  double sy, double sz, std::size_t count) {
+  const V4 vx = bcast4(sx), vy = bcast4(sy), vz = bcast4(sz);
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    store4(out + i,
+           vx * load4(out + i) + vy * load4(gs + i) + vz * load4(gt + i));
+  }
+  for (; i < count; ++i) {
+    out[i] = sx * out[i] + sy * gs[i] + sz * gt[i];
+  }
+}
+
+void ax_combine(double* w, const double* s, const double* m, const double* u,
+                double h1, double h2, std::size_t count) {
+  const V4 v1 = bcast4(h1), v2 = bcast4(h2);
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    store4(w + i, v1 * (load4(w + i) + load4(s + i)) +
+                      (v2 * load4(m + i)) * load4(u + i));
+  }
+  for (; i < count; ++i) {
+    w[i] = h1 * (w[i] + s[i]) + h2 * m[i] * u[i];
+  }
+}
+
+double weighted_dot(const double* a, const double* b, const double* w,
+                    std::size_t count, bool strict_order) {
+  if (strict_order) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < count; ++i) sum += a[i] * b[i] * w[i];
+    return sum;
+  }
+  // Fixed shape: four independent lane accumulators, folded pairwise, then
+  // the scalar tail ascending. No width dependence, no data dependence —
+  // the same input always reduces through the same operation tree.
+  V4 acc = V4{};
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    acc += load4(a + i) * load4(b + i) * load4(w + i);
+  }
+  double sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+  for (; i < count; ++i) sum += a[i] * b[i] * w[i];
+  return sum;
+}
+
+}  // namespace cmtbone::kernels

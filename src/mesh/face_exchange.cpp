@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cstddef>
+#include <map>
+#include <numeric>
+#include <utility>
 
 #include "parallel/parallel.hpp"
 #include "util/bytes.hpp"
@@ -20,19 +23,25 @@ std::array<int, 3> face_delta(int f) {
 }  // namespace
 
 FaceExchange::FaceExchange(comm::Comm& comm, const Partition& part)
-    : comm_(&comm), n_(part.spec().n), nel_(part.nel()) {
-  const BoxSpec& spec = part.spec();
+    : FaceExchange(comm, ElementLayout::block(part.spec(), part.rank())) {}
+
+FaceExchange::FaceExchange(comm::Comm& comm, const ElementLayout& layout)
+    : comm_(&comm), n_(layout.spec().n), nel_(layout.nel()) {
+  const BoxSpec& spec = layout.spec();
   const std::array<int, 3> extent = {spec.ex, spec.ey, spec.ez};
 
-  std::array<DirPlan, kFacesPerElement> dir_plans;
-  for (int f = 0; f < kFacesPerElement; ++f) dir_plans[f].dir = f;
+  // One plan per (direction, partner). With arbitrary ownership a plane of
+  // faces can pair with several ranks; (dir, partner) keeps each message a
+  // single well-ordered stream. std::map gives a deterministic plan order.
+  std::map<std::pair<int, int>, DirPlan> plans;
+  std::map<std::pair<int, int>, std::vector<long long>> nbr_gids;
 
-  // Elements in local lexicographic order means plane elements appear in
-  // transverse-lexicographic order automatically, and adjacent ranks'
-  // matching planes share the transverse ranges — so both sides enumerate
-  // the paired faces identically.
+  // Local elements ascend by gid (the layout invariant), so appending while
+  // scanning e leaves every plan's pack order in ascending own-gid order —
+  // for the block layout exactly the transverse-lexicographic plane order
+  // the static planner produced.
   for (int e = 0; e < nel_; ++e) {
-    auto g = part.global_coords(e);
+    auto g = layout.global_coords(e);
     for (int f = 0; f < kFacesPerElement; ++f) {
       auto d = face_delta(f);
       std::array<int, 3> ng = {g[0] + d[0], g[1] + d[1], g[2] + d[2]};
@@ -51,21 +60,32 @@ FaceExchange::FaceExchange(comm::Comm& comm, const Partition& part)
         local_.push_back({e, f, e, f});
         continue;
       }
-      if (ng[0] >= part.x0() && ng[0] < part.x1() && ng[1] >= part.y0() &&
-          ng[1] < part.y1() && ng[2] >= part.z0() && ng[2] < part.z1()) {
-        int ne = part.local_index(ng[0], ng[1], ng[2]);
+      const int owner = layout.owner_of(ng[0], ng[1], ng[2]);
+      if (owner == layout.rank()) {
+        int ne = layout.local_index(ng[0], ng[1], ng[2]);
         local_.push_back({ne, opposite_face(f), e, f});
       } else {
-        dir_plans[f].elems.push_back(e);
+        DirPlan& plan = plans[{f, owner}];
+        plan.dir = f;
+        plan.partner = owner;
+        plan.elems.push_back(e);
+        nbr_gids[{f, owner}].push_back(layout.gid(ng[0], ng[1], ng[2]));
       }
     }
   }
 
-  for (int f = 0; f < kFacesPerElement; ++f) {
-    if (dir_plans[f].elems.empty()) continue;
-    auto d = face_delta(f);
-    dir_plans[f].partner = part.neighbor_rank(d[0], d[1], d[2]);
-    plans_.push_back(std::move(dir_plans[f]));
+  for (auto& [key, plan] : plans) {
+    // Unpack order: the partner packed its plane ascending by *its* gids,
+    // which are these elements' neighbor gids — sort by them (unique per
+    // entry: distinct elements have distinct same-direction neighbors).
+    const std::vector<long long>& gids = nbr_gids[key];
+    std::vector<int> order(plan.elems.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return gids[a] < gids[b]; });
+    plan.recv_elems.reserve(order.size());
+    for (int i : order) plan.recv_elems.push_back(plan.elems[i]);
+    plans_.push_back(std::move(plan));
   }
   recvbuf_.resize(plans_.size());
 }
@@ -187,7 +207,7 @@ void FaceExchange::finish() {
         [&](std::size_t lo, std::size_t hi) {
           for (std::size_t s = lo; s < hi; ++s) {
             const std::size_t fd = s / nelems;
-            const int e = plan.elems[s % nelems];
+            const int e = plan.recv_elems[s % nelems];
             double* field = nbrfaces + fd * field_stride;
             util::copy_bytes(field + face_offset(plan.dir, e, n_),
                              in + s * fpts, fpts * sizeof(double));

@@ -12,6 +12,7 @@
 
 #include "comm/comm.hpp"
 #include "mesh/faces.hpp"
+#include "mesh/layout.hpp"
 #include "mesh/partition.hpp"
 
 namespace cmtbone::mesh {
@@ -19,6 +20,14 @@ namespace cmtbone::mesh {
 class FaceExchange {
  public:
   FaceExchange(comm::Comm& comm, const Partition& part);
+
+  /// Exchange plan over an arbitrary element layout (the dynamic load
+  /// balancer's relayouts): one plan per (face direction, partner rank);
+  /// sender packs its plane in ascending own-gid order and the receiver
+  /// unpacks in ascending neighbor-gid order, which enumerate the paired
+  /// faces identically on both sides. For the block layout this reproduces
+  /// the Partition plan exactly (ascending local order is ascending gid).
+  FaceExchange(comm::Comm& comm, const ElementLayout& layout);
 
   /// Withdraws any receives still posted by an interrupted begin()/finish()
   /// pair (chaos abort, peer failure), so no late delivery writes into the
@@ -75,7 +84,11 @@ class FaceExchange {
   struct DirPlan {
     int dir = -1;      // my face id whose neighbors live on `partner`
     int partner = -1;  // remote rank
-    std::vector<int> elems;  // plane elements, transverse-lexicographic order
+    std::vector<int> elems;  // pack order: my elements, ascending local index
+    // Unpack order: the same elements sorted by their dir-neighbor's gid —
+    // the order the partner packed its (opposite-face) plane in. Identical
+    // to `elems` for the block layout.
+    std::vector<int> recv_elems;
   };
 
   comm::Comm* comm_;

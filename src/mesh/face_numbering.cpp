@@ -6,7 +6,10 @@
 
 namespace cmtbone::mesh {
 
-std::vector<long long> face_point_gids(const Partition& part) {
+namespace {
+// Shared body: `Mesh` provides spec(), nel(), global_coords(e).
+template <class Mesh>
+std::vector<long long> face_gids_impl(const Mesh& part) {
   const BoxSpec& spec = part.spec();
   const int n = spec.n;
   const std::array<int, 3> extent = {spec.ex, spec.ey, spec.ez};
@@ -57,6 +60,30 @@ std::vector<long long> face_point_gids(const Partition& part) {
     }
   }
   return ids;
+}
+}  // namespace
+
+std::vector<long long> face_point_gids(const Partition& part) {
+  return face_gids_impl(part);
+}
+
+std::vector<long long> face_point_gids(const ElementLayout& layout) {
+  return face_gids_impl(layout);
+}
+
+std::vector<long long> face_point_keys(const ElementLayout& layout) {
+  const int n = layout.spec().n;
+  const std::size_t fpts = std::size_t(n) * n;
+  std::vector<long long> keys(face_array_size(n, layout.nel()));
+  for (int e = 0; e < layout.nel(); ++e) {
+    const long long gid = layout.gid_of(e);
+    for (int f = 0; f < kFacesPerElement; ++f) {
+      const long long base = (gid * kFacesPerElement + f) * (long long)(fpts);
+      long long* dst = keys.data() + face_offset(f, e, n);
+      for (std::size_t p = 0; p < fpts; ++p) dst[p] = base + (long long)(p);
+    }
+  }
+  return keys;
 }
 
 }  // namespace cmtbone::mesh

@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "mesh/layout.hpp"
 #include "mesh/partition.hpp"
 
 namespace cmtbone::mesh {
@@ -28,5 +29,17 @@ namespace cmtbone::mesh {
 /// neighbor element, possibly on another rank. Physical-boundary points
 /// (non-periodic box) hold unique ids.
 std::vector<long long> face_point_gids(const Partition& part);
+
+/// Same numbering over an arbitrary element layout (identical to the
+/// Partition form for the block layout — local element order coincides).
+std::vector<long long> face_point_gids(const ElementLayout& layout);
+
+/// Canonical per-slot reduction keys for ordered gather-scatter over face
+/// arrays: key = (gid(element)*6 + face)*n^2 + point. The two copies of an
+/// interior face id always come from distinct (element, face) slots — even
+/// for the ex==1 self-periodic wrap, where one element's two opposite faces
+/// pair with each other — so the keys order every id's copies identically
+/// on all ranks, independent of element ownership.
+std::vector<long long> face_point_keys(const ElementLayout& layout);
 
 }  // namespace cmtbone::mesh

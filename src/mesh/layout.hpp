@@ -1,0 +1,95 @@
+#pragma once
+// Arbitrary element-ownership layouts over the structured box mesh.
+//
+// mesh::Partition is the *static* Cartesian decomposition (contiguous
+// blocks). The dynamic load balancer (Zhai et al., PAPERS.md) needs to move
+// individual elements between ranks, so ownership becomes an arbitrary map
+// gid -> rank replicated on every rank. ElementLayout is that map plus the
+// rank's own element list.
+//
+// Local ordering invariant: a rank's owned elements are kept in ascending
+// global-id order, with gid = gx + ex*(gy + ey*gz) (x fastest). For the
+// block layout this coincides exactly with Partition's local lexicographic
+// ordering, so every consumer generalized from Partition to ElementLayout
+// (GLL/face numbering, element classification, FaceExchange) reproduces the
+// static-partition behavior bit for bit — the anchor for the balancer's
+// "migration changes *where*, never *what*" guarantee.
+
+#include <array>
+#include <vector>
+
+#include "mesh/partition.hpp"
+
+namespace cmtbone::mesh {
+
+class ElementLayout {
+ public:
+  /// The static block layout of Partition — ownership identical to
+  /// Partition(spec, r) for every rank r.
+  static ElementLayout block(const BoxSpec& spec, int rank);
+
+  /// Arbitrary ownership map: owner[gid] in [0, spec.nranks()) for every
+  /// global element. Throws std::invalid_argument on size/range mismatch.
+  ElementLayout(const BoxSpec& spec, int rank, std::vector<int> owner);
+
+  const BoxSpec& spec() const { return spec_; }
+  int rank() const { return rank_; }
+  int nranks() const { return spec_.nranks(); }
+  long long total_elements() const { return spec_.total_elements(); }
+
+  /// Elements this rank owns (ascending gid order defines local indices).
+  int nel() const { return int(owned_.size()); }
+  const std::vector<long long>& owned_gids() const { return owned_; }
+  const std::vector<int>& owner() const { return owner_; }
+
+  long long gid(int gx, int gy, int gz) const {
+    return gx + 1LL * spec_.ex * (gy + 1LL * spec_.ey * gz);
+  }
+  std::array<int, 3> coords_of_gid(long long g) const {
+    const int gx = int(g % spec_.ex);
+    const int gy = int((g / spec_.ex) % spec_.ey);
+    const int gz = int(g / (1LL * spec_.ex * spec_.ey));
+    return {gx, gy, gz};
+  }
+
+  long long gid_of(int e) const { return owned_[e]; }
+  std::array<int, 3> global_coords(int e) const {
+    return coords_of_gid(owned_[e]);
+  }
+
+  /// Local index of a gid, or -1 when this rank does not own it.
+  int local_of_gid(long long g) const;
+  int local_index(int gx, int gy, int gz) const {
+    return local_of_gid(gid(gx, gy, gz));
+  }
+
+  int owner_of_gid(long long g) const { return owner_[std::size_t(g)]; }
+  int owner_of(int gx, int gy, int gz) const {
+    return owner_of_gid(gid(gx, gy, gz));
+  }
+  bool owns(int gx, int gy, int gz) const {
+    return owner_of(gx, gy, gz) == rank_;
+  }
+
+  /// True when any face of local element `e` pairs with an element owned by
+  /// another rank (including across the periodic wrap). Physical-boundary
+  /// faces mirror locally and do not count.
+  bool element_touches_remote(int e) const;
+
+  /// Identical ownership everywhere (spec assumed equal).
+  bool same_ownership(const ElementLayout& other) const {
+    return owner_ == other.owner_;
+  }
+
+ private:
+  BoxSpec spec_;
+  int rank_ = 0;
+  std::vector<int> owner_;       // size total_elements(), gid-indexed
+  std::vector<long long> owned_; // my gids, ascending
+};
+
+/// Interior/boundary split for compute–communication overlap, generalized
+/// over an arbitrary layout (see Partition's classify_interior_boundary).
+ElementClasses classify_interior_boundary(const ElementLayout& layout);
+
+}  // namespace cmtbone::mesh

@@ -17,7 +17,10 @@ long long total_gll_points(const BoxSpec& spec) {
          grid_extent(spec.ez, spec.n, spec.periodic);
 }
 
-std::vector<long long> global_gll_ids(const Partition& part) {
+namespace {
+// Shared body: `Mesh` provides spec(), nel(), global_coords(e).
+template <class Mesh>
+std::vector<long long> gll_ids_impl(const Mesh& part) {
   const BoxSpec& spec = part.spec();
   const int n = spec.n;
   const long long gx_extent = grid_extent(spec.ex, n, spec.periodic);
@@ -44,6 +47,27 @@ std::vector<long long> global_gll_ids(const Partition& part) {
     }
   }
   return ids;
+}
+}  // namespace
+
+std::vector<long long> global_gll_ids(const Partition& part) {
+  return gll_ids_impl(part);
+}
+
+std::vector<long long> global_gll_ids(const ElementLayout& layout) {
+  return gll_ids_impl(layout);
+}
+
+std::vector<long long> global_gll_keys(const ElementLayout& layout) {
+  const int n = layout.spec().n;
+  const std::size_t epts = std::size_t(n) * n * n;
+  std::vector<long long> keys(epts * layout.nel());
+  std::size_t idx = 0;
+  for (int e = 0; e < layout.nel(); ++e) {
+    const long long base = layout.gid_of(e) * (long long)(epts);
+    for (std::size_t p = 0; p < epts; ++p) keys[idx++] = base + (long long)(p);
+  }
+  return keys;
 }
 
 }  // namespace cmtbone::mesh

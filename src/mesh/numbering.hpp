@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "mesh/layout.hpp"
 #include "mesh/partition.hpp"
 
 namespace cmtbone::mesh {
@@ -19,6 +20,19 @@ namespace cmtbone::mesh {
 /// Points shared between adjacent elements (and, for a periodic box, across
 /// the wrap) receive equal ids. Ids are dense in [0, total_points).
 std::vector<long long> global_gll_ids(const Partition& part);
+
+/// Same numbering over an arbitrary element layout. For the block layout
+/// this returns exactly global_gll_ids(Partition) — the local element order
+/// coincides (see mesh/layout.hpp).
+std::vector<long long> global_gll_ids(const ElementLayout& layout);
+
+/// Canonical per-slot reduction keys for ordered gather-scatter: every
+/// local GLL slot gets the globally-unique key gid(element)*n^3 + point.
+/// Copies of one global id always come from distinct (element, point)
+/// slots, so keys order the copies of an id identically on every rank and
+/// independently of which rank owns which element — the gather-scatter
+/// fold over these keys is layout-invariant bit for bit.
+std::vector<long long> global_gll_keys(const ElementLayout& layout);
 
 /// Total distinct global GLL points of the box (the id space size).
 long long total_gll_points(const BoxSpec& spec);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/dispatch.hpp"
+#include "kernels/vecops.hpp"
 #include "mesh/numbering.hpp"
 #include "parallel/parallel.hpp"
 #include "prof/callprof.hpp"
@@ -128,12 +130,11 @@ void Nekbone::local_ax_range(const double* u, double* w, std::size_t e0,
   kernels::grad_t(config_.variant, ops_.d.data(), u + off, ut_.data() + off, n,
                   m);
 
-  // Scale by the diagonal geometric factors.
-  for (std::size_t p = off; p < end; ++p) {
-    ur_[p] *= geo_rr_[p];
-    us_[p] *= geo_ss_[p];
-    ut_[p] *= geo_tt_[p];
-  }
+  // Scale by the diagonal geometric factors (elementwise — vectorization
+  // cannot change the bits).
+  kernels::pointwise_scale(ur_.data() + off, geo_rr_.data() + off, end - off);
+  kernels::pointwise_scale(us_.data() + off, geo_ss_.data() + off, end - off);
+  kernels::pointwise_scale(ut_.data() + off, geo_tt_.data() + off, end - off);
 
   // Transpose gradients back: w = D_r^T ur + D_s^T us + D_t^T ut. Applying
   // grad with D^T is exactly the transpose contraction.
@@ -144,9 +145,8 @@ void Nekbone::local_ax_range(const double* u, double* w, std::size_t e0,
   for (std::size_t p = off; p < end; ++p) w[p] += scratch_[p];
   kernels::grad_t(config_.variant, ops_.dt.data(), ut_.data() + off,
                   scratch_.data() + off, n, m);
-  for (std::size_t p = off; p < end; ++p) {
-    w[p] = config_.h1 * (w[p] + scratch_[p]) + config_.h2 * mass_[p] * u[p];
-  }
+  kernels::ax_combine(w + off, scratch_.data() + off, mass_.data() + off,
+                      u + off, config_.h1, config_.h2, end - off);
 }
 
 void Nekbone::apply_ax(std::span<const double> u, std::span<double> w) {
@@ -156,10 +156,15 @@ void Nekbone::apply_ax(std::span<const double> u, std::span<double> w) {
 }
 
 double Nekbone::dot(std::span<const double> a, std::span<const double> b) {
-  double sum = 0.0;
-  for (std::size_t p = 0; p < pts_; ++p) {
-    sum += a[p] * b[p] * inv_multiplicity_[p];
-  }
+  // The multiplicity-weighted inner product is a reduction, so the 4-lane
+  // vector form is a (deterministic, machine-independent) reorder; keep the
+  // historical ascending order when the scalar backend is selected so a
+  // forced-scalar run reproduces old bits exactly.
+  const bool strict =
+      kernels::selected_backend(config_.n) == kernels::Backend::kScalar;
+  const double sum = kernels::weighted_dot(a.data(), b.data(),
+                                           inv_multiplicity_.data(), pts_,
+                                           strict);
   return comm_->allreduce_one(sum, comm::ReduceOp::kSum);
 }
 

@@ -1,5 +1,6 @@
 #include "particles/tracker.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -11,7 +12,10 @@ namespace cmtbone::particles {
 
 Tracker::Tracker(comm::Comm& comm, const mesh::Partition& part,
                  const sem::Operators& ops)
-    : comm_(&comm), part_(&part), ops_(&ops), router_(comm) {
+    : comm_(&comm),
+      layout_(mesh::ElementLayout::block(part.spec(), part.rank())),
+      ops_(&ops),
+      router_(comm) {
   const mesh::BoxSpec& spec = part.spec();
   h_ = {1.0 / spec.ex, 1.0 / spec.ey, 1.0 / spec.ez};
   bary_ = sem::barycentric_weights(ops.rule.nodes);
@@ -24,9 +28,12 @@ void Tracker::seed_random(int count_per_rank, std::uint64_t seed) {
   util::SplitMix64 rng(util::rank_seed(seed, comm_->rank()));
   particles_.clear();
   particles_.reserve(count_per_rank);
-  const double x0 = part_->x0() * h_[0], x1 = part_->x1() * h_[0];
-  const double y0 = part_->y0() * h_[1], y1 = part_->y1() * h_[1];
-  const double z0 = part_->z0() * h_[2], z1 = part_->z1() * h_[2];
+  // Seed inside this rank's *block* extent (the historical behavior; under
+  // a non-block layout call migrate() afterwards to restore ownership).
+  const mesh::Partition part(layout_.spec(), layout_.rank());
+  const double x0 = part.x0() * h_[0], x1 = part.x1() * h_[0];
+  const double y0 = part.y0() * h_[1], y1 = part.y1() * h_[1];
+  const double z0 = part.z0() * h_[2], z1 = part.z1() * h_[2];
   for (int i = 0; i < count_per_rank; ++i) {
     Particle p;
     p.id = static_cast<long long>(comm_->rank()) * 1000000 + i;
@@ -37,8 +44,28 @@ void Tracker::seed_random(int count_per_rank, std::uint64_t seed) {
   }
 }
 
+void Tracker::seed_global(long long total, std::uint64_t seed) {
+  util::SplitMix64 rng(util::rank_seed(seed, /*rank=*/0));
+  particles_.clear();
+  for (long long i = 0; i < total; ++i) {
+    Particle p;
+    p.id = i;
+    p.x = rng.uniform(0.0, 1.0);
+    p.y = rng.uniform(0.0, 1.0);
+    p.z = rng.uniform(0.0, 1.0);
+    if (owns(p.x, p.y, p.z)) particles_.push_back(p);
+  }
+}
+
+void Tracker::adopt_global(std::span<const Particle> all) {
+  particles_.clear();
+  for (const Particle& p : all) {
+    if (owns(p.x, p.y, p.z)) particles_.push_back(p);
+  }
+}
+
 std::array<int, 3> Tracker::element_of(double x, double y, double z) const {
-  const mesh::BoxSpec& spec = part_->spec();
+  const mesh::BoxSpec& spec = layout_.spec();
   auto clampi = [](int v, int hi) { return v < 0 ? 0 : (v >= hi ? hi - 1 : v); };
   return {clampi(int(x / h_[0]), spec.ex), clampi(int(y / h_[1]), spec.ey),
           clampi(int(z / h_[2]), spec.ez)};
@@ -46,13 +73,22 @@ std::array<int, 3> Tracker::element_of(double x, double y, double z) const {
 
 bool Tracker::owns(double x, double y, double z) const {
   auto e = element_of(x, y, z);
-  return e[0] >= part_->x0() && e[0] < part_->x1() && e[1] >= part_->y0() &&
-         e[1] < part_->y1() && e[2] >= part_->z0() && e[2] < part_->z1();
+  return layout_.owns(e[0], e[1], e[2]);
 }
 
 int Tracker::owner_of(double x, double y, double z) const {
   auto e = element_of(x, y, z);
-  return part_->owner_of(e[0], e[1], e[2]);
+  return layout_.owner_of(e[0], e[1], e[2]);
+}
+
+std::vector<int> Tracker::count_per_element() const {
+  std::vector<int> count(std::size_t(layout_.nel()), 0);
+  for (const Particle& p : particles_) {
+    auto e = element_of(p.x, p.y, p.z);
+    const int le = layout_.local_index(e[0], e[1], e[2]);
+    if (le >= 0) ++count[std::size_t(le)];
+  }
+  return count;
 }
 
 void Tracker::advance(const std::array<double, 3>& velocity, double dt) {
@@ -97,7 +133,7 @@ double Tracker::interpolate(const double* field, double x, double y,
   basis(s, wy_);
   basis(t, wz_);
 
-  const int le = part_->local_index(e[0], e[1], e[2]);
+  const int le = layout_.local_index(e[0], e[1], e[2]);
   const double* ue = field + std::size_t(le) * n * n * n;
   double value = 0.0;
   for (int k = 0; k < n; ++k) {
@@ -142,7 +178,7 @@ void Tracker::deposit(double* field, double x, double y, double z,
   basis(s, wy_);
   basis(t, wz_);
 
-  const int le = part_->local_index(e[0], e[1], e[2]);
+  const int le = layout_.local_index(e[0], e[1], e[2]);
   double* ue = field + std::size_t(le) * n * n * n;
   for (int k = 0; k < n; ++k) {
     const double wk = wz_[k] * strength;
@@ -192,6 +228,10 @@ void Tracker::migrate() {
       std::span<const Particle>(leaving), dest);
   particles_ = std::move(staying);
   particles_.insert(particles_.end(), arrived.begin(), arrived.end());
+  // Canonical local order (ids are globally unique): deposit accumulation
+  // per element becomes a function of the particle set alone.
+  std::sort(particles_.begin(), particles_.end(),
+            [](const Particle& a, const Particle& b) { return a.id < b.id; });
 }
 
 long long Tracker::total_count() const {

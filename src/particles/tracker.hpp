@@ -14,10 +14,12 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "comm/comm.hpp"
 #include "gs/crystal.hpp"
+#include "mesh/layout.hpp"
 #include "mesh/partition.hpp"
 #include "sem/operators.hpp"
 
@@ -32,12 +34,31 @@ struct Particle {
 class Tracker {
  public:
   /// Collective over `comm`; the partition must match the communicator.
+  /// Ownership starts as the block layout of `part`.
   Tracker(comm::Comm& comm, const mesh::Partition& part,
           const sem::Operators& ops);
+
+  /// Adopt a new element layout (the load balancer's relayout). Particles
+  /// keep their positions; call migrate() afterwards to ship each one to
+  /// its element's new owner. Collective only through that migrate().
+  void set_layout(const mesh::ElementLayout& layout) { layout_ = layout; }
+  const mesh::ElementLayout& layout() const { return layout_; }
 
   /// Seed `count_per_rank` particles uniformly inside this rank's block.
   /// Ids are globally unique and deterministic in (seed, rank).
   void seed_random(int count_per_rank, std::uint64_t seed);
+
+  /// Seed `total` particles uniformly in the unit domain: every rank runs
+  /// the identical RNG stream over all `total` particles and keeps the ones
+  /// its layout owns — so the global particle set (ids and positions) is
+  /// independent of the element layout, the property the balanced-vs-static
+  /// bit-identity tests rest on.
+  void seed_global(long long total, std::uint64_t seed);
+
+  /// Replace the local set with the owned subset of a replicated global
+  /// particle list (scenario generators build the full list identically on
+  /// every rank).
+  void adopt_global(std::span<const Particle> all);
 
   /// Advance every local particle by dt along a uniform velocity, with
   /// periodic wrap. Call migrate() afterwards to restore ownership.
@@ -49,8 +70,11 @@ class Tracker {
   void advance_interpolated(const double* ux, const double* uy,
                             const double* uz, double dt);
 
-  /// Ship every particle that left this rank's block to its owner via the
-  /// crystal router. Collective.
+  /// Ship every particle that left this rank's elements to its owner via
+  /// the crystal router, then sort the local set by particle id. Collective.
+  /// The sort makes the deposit accumulation order per element canonical —
+  /// a function of the particle set alone, not of arrival history — which
+  /// keeps the coupling source term bit-identical across relayouts.
   void migrate();
 
   /// Interpolate one scalar field at a (locally owned) position.
@@ -69,10 +93,13 @@ class Tracker {
   /// load) onto `field`.
   void deposit_all(double* field, double strength_per_particle) const;
 
-  /// True if (x,y,z) lies in this rank's element block.
+  /// True if (x,y,z) lies in an element this rank owns.
   bool owns(double x, double y, double z) const;
   /// Rank owning position (x,y,z).
   int owner_of(double x, double y, double z) const;
+
+  /// Resident particles per local element (cost-model input).
+  std::vector<int> count_per_element() const;
 
   std::size_t local_count() const { return particles_.size(); }
   const std::vector<Particle>& particles() const { return particles_; }
@@ -93,7 +120,7 @@ class Tracker {
   }
 
   comm::Comm* comm_;
-  const mesh::Partition* part_;
+  mesh::ElementLayout layout_;
   const sem::Operators* ops_;
   gs::CrystalRouter router_;
   std::array<double, 3> h_;

@@ -1,0 +1,32 @@
+#pragma once
+// Per-rank busy-time accounting for the dynamic load balancer.
+//
+// The driver accumulates, over one rebalance window, the thread-CPU seconds
+// (prof::CpuTimer) spent in grid work (volume + surface kernels) and in
+// particle work (advance, deposit, migrate). CPU time rather than wall time
+// so a rank is charged only for work it executed — comm waits and, on an
+// oversubscribed test host where ranks are threads, time spent descheduled
+// for other ranks both accrue nothing. The cost model
+// (balance/cost_model.hpp) turns these into per-element unit rates; the
+// scaling benches report the cross-rank max/mean of busy_seconds() as the
+// imbalance factor.
+
+namespace cmtbone::prof {
+
+struct BalanceStats {
+  double grid_seconds = 0;      // volume + surface kernel time this window
+  double particle_seconds = 0;  // particle advance/deposit/migrate time
+  double rebalance_seconds = 0; // repartition + element migration time
+                                // (accumulated in the run totals only, so
+                                // the balanced run's busy time is charged
+                                // for its own overhead; always zero in the
+                                // cost model's measurement windows)
+  long long steps = 0;          // steps accumulated in this window
+
+  double busy_seconds() const {
+    return grid_seconds + particle_seconds + rebalance_seconds;
+  }
+  void reset() { *this = BalanceStats{}; }
+};
+
+}  // namespace cmtbone::prof

@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <x86intrin.h>
@@ -29,6 +30,42 @@ class WallTimer {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// Per-thread CPU-time timer in seconds: counts only cycles this thread
+/// actually executed. Two distortions that wall clocks suffer vanish here,
+/// and both matter because our "ranks" are threads in one process:
+///   * time blocked in a comm wait (condition variable) accrues no CPU, so
+///     a rank waiting on a slow neighbor is not charged for the neighbor's
+///     work, and
+///   * time descheduled while other rank-threads share the same cores is
+///     not charged either, so per-rank busy time on an oversubscribed test
+///     host matches what a one-rank-per-node deployment would measure.
+/// This is the clock the load-balancing cost model runs on.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(now()) {}
+
+  void restart() { start_ = now(); }
+
+  double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return double(ts.tv_sec) + 1e-9 * double(ts.tv_nsec);
+    }
+#endif
+    // Fallback: wall time (correct on a dedicated core, pessimistic when
+    // rank-threads share one).
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  double start_ = 0;
 };
 
 /// What read_cycles() actually counts. On x86 it is raw TSC ticks; the
