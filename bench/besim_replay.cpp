@@ -51,9 +51,14 @@ int main(int argc, char** argv) {
       auto result = trace::replay(tr, cfg);
       char speed[16];
       std::snprintf(speed, sizeof speed, "%.0fx", 1.0 / scale);
+      // A zero-step or empty trace replays to makespan 0; report "-" rather
+      // than dividing by zero (matching the recorded > 0 guard).
       char rel[16];
-      std::snprintf(rel, sizeof rel, "%.2fx",
-                    recorded > 0 ? recorded / result.makespan : 0.0);
+      if (recorded > 0 && result.makespan > 0) {
+        std::snprintf(rel, sizeof rel, "%.2fx", recorded / result.makespan);
+      } else {
+        std::snprintf(rel, sizeof rel, "-");
+      }
       table.add_row({machine.name, speed, util::Table::sci(result.makespan, 3),
                      util::Table::sci(result.total_comm, 3),
                      util::Table::sci(result.total_blocked, 3), rel});

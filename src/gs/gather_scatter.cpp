@@ -22,6 +22,7 @@ const char* method_name(Method m) {
     case Method::kCrystalRouter: return "crystal router";
     case Method::kAllReduce: return "all_reduce";
     case Method::kAuto: return "auto";
+    case Method::kModel: return "model";
   }
   return "?";
 }
@@ -71,6 +72,14 @@ GatherScatter::GatherScatter(comm::Comm& comm,
   // would time algorithms the handle never uses.
   if (method_ == Method::kAuto) {
     method_ = ordered_ ? Method::kPairwise : tune();
+  } else if (method_ == Method::kModel) {
+    if (ordered_) {
+      method_ = Method::kPairwise;
+    } else if (auto machine = netmodel::calibrated_machine()) {
+      method_ = select_from_model(*machine);
+    } else {
+      method_ = tune();
+    }
   }
 }
 
@@ -567,7 +576,10 @@ void GatherScatter::exec_impl(std::span<T> values, int nfields, ReduceOp op,
     case Method::kPairwise: exec_pairwise(unique, nfields, op); break;
     case Method::kCrystalRouter: exec_crystal(unique, nfields, op); break;
     case Method::kAllReduce: exec_allreduce(unique, nfields, op); break;
+    // kAuto/kModel are resolved to a concrete method at construction; a
+    // per-call request for them degrades to the pairwise exchange.
     case Method::kAuto: exec_pairwise(unique, nfields, op); break;
+    case Method::kModel: exec_pairwise(unique, nfields, op); break;
   }
 
   // Phase 3: local scatter.
@@ -774,6 +786,53 @@ Method GatherScatter::tune(int repetitions) {
     }
   }
   method_ = best;
+  return best;
+}
+
+// --- model-driven method selection -------------------------------------------
+
+netmodel::ExchangeShape GatherScatter::exchange_shape() const {
+  netmodel::ExchangeShape shape;
+  shape.ranks = comm_->size();
+  shape.neighbors = int(pairwise_plan_.size());
+  shape.pairwise_bytes =
+      static_cast<long long>(pairwise_send_values() * sizeof(double));
+  // Crystal pass 1 injects one record per shared entry this rank does not
+  // own; the return pass is symmetric in aggregate, and predict_crystal
+  // already doubles for the two passes.
+  long long not_owned = 0;
+  for (std::size_t s = 0; s < topo_.shared.size(); ++s) {
+    if (owner_[s] != comm_->rank()) ++not_owned;
+  }
+  shape.crystal_records = not_owned;
+  shape.record_bytes = sizeof(long long) + sizeof(double);
+  shape.big_vector_bytes =
+      topo_.total_global * static_cast<long long>(sizeof(double));
+  return shape;
+}
+
+Method GatherScatter::select_from_model(const netmodel::LogGPParams& machine) {
+  const netmodel::Prediction mine =
+      netmodel::predict_all(machine, exchange_shape());
+  // Per-rank shapes differ (corner ranks have fewer partners than interior
+  // ones); the run is gated by the slowest rank, and everyone must agree on
+  // the method or the exchange deadlocks. Reduce each algorithm's cost to
+  // its worst rank — a collective, so this is deterministic and identical
+  // everywhere.
+  const double pairwise = comm_->allreduce_one(mine.pairwise, ReduceOp::kMax);
+  const double crystal = comm_->allreduce_one(mine.crystal, ReduceOp::kMax);
+  const double allreduce = comm_->allreduce_one(mine.allreduce, ReduceOp::kMax);
+
+  tuning_.clear();
+  tuning_.push_back({Method::kPairwise, pairwise, pairwise, pairwise});
+  tuning_.push_back({Method::kCrystalRouter, crystal, crystal, crystal});
+  tuning_.push_back({Method::kAllReduce, allreduce, allreduce, allreduce});
+
+  // Ties break in enum order (pairwise first), matching tune().
+  Method best = Method::kPairwise;
+  double best_cost = pairwise;
+  if (crystal < best_cost) { best = Method::kCrystalRouter; best_cost = crystal; }
+  if (allreduce < best_cost) { best = Method::kAllReduce; }
   return best;
 }
 

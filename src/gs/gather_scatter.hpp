@@ -26,12 +26,20 @@
 #include "comm/comm.hpp"
 #include "gs/crystal.hpp"
 #include "gs/topology.hpp"
+#include "netmodel/loggp.hpp"
 
 namespace cmtbone::gs {
 
 using comm::ReduceOp;
 
-enum class Method { kPairwise, kCrystalRouter, kAllReduce, kAuto };
+/// kAuto times all three algorithms at setup and keeps the fastest.
+/// kModel skips the timing pass: it builds the handle's ExchangeShape from
+/// the live topology and asks netmodel::predict_all under the calibrated
+/// machine (netmodel::calibrated_machine()), falling back to the measured
+/// tune() when no calibration has been published. Either way the handle
+/// ends up running one of the three concrete algorithms, so results are
+/// bit-identical to forcing that method directly.
+enum class Method { kPairwise, kCrystalRouter, kAllReduce, kAuto, kModel };
 
 const char* method_name(Method m);
 
@@ -121,6 +129,11 @@ class GatherScatter {
   /// Run (or re-run) the startup tuning pass; returns the winner.
   Method tune(int repetitions = 5);
 
+  /// This rank's exchange structure as the analytic network model sees it
+  /// (ranks, pairwise partners and bytes, crystal records, big-vector
+  /// bytes). What Method::kModel feeds to netmodel::predict_all.
+  netmodel::ExchangeShape exchange_shape() const;
+
   // --- structure queries (for the communication-model benches) -----------
   /// Ranks this rank exchanges with under the pairwise method.
   std::vector<int> pairwise_neighbors() const;
@@ -167,6 +180,12 @@ class GatherScatter {
   void ordered_fold_shared(int nfields, ReduceOp op, std::vector<T>& unique,
                            const std::vector<T>& mine,
                            const std::vector<std::vector<T>>& recvbuf) const;
+
+  // Model-driven method selection (collective): predict all three
+  // algorithms from the worst-rank exchange shape and return the cheapest.
+  // Reduces each prediction across ranks so every rank picks the same
+  // method deterministically.
+  Method select_from_model(const netmodel::LogGPParams& machine);
 
   // Withdraw any posted split-phase receives and clear the in-flight state;
   // the unwind path shared by the destructor and begin()/finish() failure

@@ -1,0 +1,386 @@
+#include "trace/extrapolate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "mesh/numbering.hpp"
+
+namespace cmtbone::trace {
+
+namespace {
+
+// Tag conventions of the live runtime (mesh::FaceExchange and the gs
+// pairwise exchange). Classification relies on them: face-exchange traffic
+// is tagged 64 + face direction, everything else p2p is a merged
+// per-partner gather-scatter message.
+constexpr int kFaceTagBase = 64;
+
+bool is_face_tag(int tag) {
+  return tag >= kFaceTagBase && tag < kFaceTagBase + 6;
+}
+
+}  // namespace
+
+ExchangeStructure exchange_structure(const mesh::BoxSpec& spec, int rank) {
+  const mesh::Partition part(spec, rank);
+  ExchangeStructure st;
+
+  const int nels[3] = {part.nelx(), part.nely(), part.nelz()};
+  for (int d = 0; d < 6; ++d) {
+    const int axis = d / 2;
+    int delta[3] = {0, 0, 0};
+    delta[axis] = (d % 2) == 0 ? -1 : 1;
+    int partner = part.neighbor_rank(delta[0], delta[1], delta[2]);
+    // A single-rank axis wraps onto itself: the plane pairs locally, no
+    // message. Physical boundaries report -1 already.
+    if (partner == rank) partner = -1;
+    st.face_partner[d] = partner;
+    long long plane_elems = 1;
+    for (int a = 0; a < 3; ++a) {
+      if (a != axis) plane_elems *= nels[a];
+    }
+    st.face_contacts[d] =
+        partner < 0 ? 0 : plane_elems * spec.n * spec.n;
+  }
+
+  // Pairwise gs partners: every one of the 26 neighbor directions
+  // contributes its interface plane/edge/corner ids to that direction's
+  // rank. Directions reaching the same rank (two ranks per axis) merge —
+  // their id sets are distinct planes, so counts add.
+  const long long pts[3] = {1LL * part.nelx() * (spec.n - 1) + 1,
+                            1LL * part.nely() * (spec.n - 1) + 1,
+                            1LL * part.nelz() * (spec.n - 1) + 1};
+  std::map<int, long long> gs;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int partner = part.neighbor_rank(dx, dy, dz);
+        if (partner < 0 || partner == rank) continue;
+        long long ids = 1;
+        if (dx == 0) ids *= pts[0];
+        if (dy == 0) ids *= pts[1];
+        if (dz == 0) ids *= pts[2];
+        gs[partner] += ids;
+      }
+    }
+  }
+  st.gs_contacts.assign(gs.begin(), gs.end());
+  return st;
+}
+
+namespace {
+
+// Event signature for periodicity detection: collapses timestamps and
+// payload so only the communication *structure* must repeat.
+using Signature = std::tuple<int, int, int, std::string>;
+
+Signature signature_of(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kSend:
+      return {0, is_face_tag(e.tag) ? e.tag : -1, e.peer, {}};
+    case EventKind::kRecv:
+      return {1, is_face_tag(e.tag) ? e.tag : -1, e.peer, {}};
+    case EventKind::kCollective:
+      return {2, 0, -1, e.collective};
+  }
+  return {3, 0, -1, {}};
+}
+
+// Smallest L such that the last 2L events are L-periodic and the L-suffix
+// contains a collective (every steady step has at least the CFL reduction,
+// and one collective per period rules out sub-periods). Returns 0 if none.
+std::size_t steady_period(const std::vector<Signature>& sig) {
+  const std::size_t len = sig.size();
+  for (std::size_t L = 1; 2 * L <= len; ++L) {
+    bool periodic = true;
+    for (std::size_t i = len - L; i < len && periodic; ++i) {
+      periodic = sig[i] == sig[i - L];
+    }
+    if (!periodic) continue;
+    bool has_coll = false;
+    for (std::size_t i = len - L; i < len && !has_coll; ++i) {
+      has_coll = std::get<0>(sig[i]) == 2;
+    }
+    if (has_coll) return L;
+  }
+  return 0;
+}
+
+// Contact count of one recorded send against the base-geometry structure.
+long long contacts_of_send(const Event& e, const ExchangeStructure& st) {
+  if (is_face_tag(e.tag)) return st.face_contacts[e.tag - kFaceTagBase];
+  for (const auto& [partner, ids] : st.gs_contacts) {
+    if (partner == e.peer) return ids;
+  }
+  return 0;
+}
+
+// Distil one rank's steady-state suffix into a phase list.
+std::vector<Phase> phases_of_rank(const RankTrace& events, std::size_t first,
+                                  const ExchangeStructure& st) {
+  std::vector<Phase> phases;
+  // Per-phase accumulators (folded into bytes_per_contact on close).
+  long long sent_bytes = 0, sent_contacts = 0;
+  bool seen_recv = false;
+
+  auto close = [&]() {
+    if (!phases.empty() && phases.back().kind != Phase::Kind::kCollective &&
+        sent_contacts > 0) {
+      phases.back().bytes_per_contact =
+          double(sent_bytes) / double(sent_contacts);
+    }
+    sent_bytes = sent_contacts = 0;
+    seen_recv = false;
+  };
+
+  for (std::size_t i = first; i < events.size(); ++i) {
+    const Event& e = events[i];
+    const double gap =
+        i == 0 ? 0.0 : std::max(0.0, e.t_start - events[i - 1].t_end);
+
+    if (e.kind == EventKind::kCollective) {
+      close();
+      Phase ph;
+      ph.kind = Phase::Kind::kCollective;
+      ph.gap_send = gap;
+      ph.collective = e.collective;
+      ph.collective_bytes = e.bytes;
+      phases.push_back(std::move(ph));
+      continue;
+    }
+
+    const Phase::Kind cls =
+        is_face_tag(e.tag) ? Phase::Kind::kFaceRound : Phase::Kind::kGsRound;
+    const bool is_send = e.kind == EventKind::kSend;
+    // A new round starts on a class change, after a collective, or when a
+    // send follows this round's receives (back-to-back rounds of one
+    // class, e.g. the per-field dssum gs_ops).
+    if (phases.empty() || phases.back().kind != cls ||
+        (is_send && seen_recv)) {
+      close();
+      Phase ph;
+      ph.kind = cls;
+      phases.push_back(std::move(ph));
+    }
+    if (is_send) {
+      phases.back().gap_send += gap;
+      sent_bytes += e.bytes;
+      sent_contacts += contacts_of_send(e, st);
+    } else {
+      seen_recv = true;
+      phases.back().gap_recv += gap;
+    }
+  }
+  close();
+  return phases;
+}
+
+bool same_structure(const std::vector<Phase>& a, const std::vector<Phase>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != b[i].kind) return false;
+    if (a[i].kind == Phase::Kind::kCollective &&
+        a[i].collective != b[i].collective) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StepModel extract_step_model(const Trace& trace, const mesh::BoxSpec& base) {
+  if (trace.nranks() != base.nranks()) {
+    throw std::runtime_error(
+        "extract_step_model: trace rank count does not match the base spec");
+  }
+  const int p = trace.nranks();
+
+  std::vector<std::vector<Phase>> per_rank(p);
+  double step_seconds = 0.0;
+  for (int r = 0; r < p; ++r) {
+    const RankTrace& events = trace.ranks[r];
+    std::vector<Signature> sig;
+    sig.reserve(events.size());
+    for (const Event& e : events) sig.push_back(signature_of(e));
+    const std::size_t L = steady_period(sig);
+    if (L == 0) {
+      throw std::runtime_error(
+          "extract_step_model: no steady-state period in the recorded trace "
+          "(record more steps, in CFL mode so each step has a collective)");
+    }
+    const std::size_t first = events.size() - L;
+    per_rank[r] =
+        phases_of_rank(events, first, exchange_structure(base, r));
+    if (r == 0) {
+      step_seconds = events.back().t_end - events[first - 1].t_end;
+    }
+  }
+
+  StepModel model;
+  model.base = base;
+  model.base_elems = double(mesh::Partition(base, 0).nel());
+  model.step_seconds = step_seconds;
+
+  // Average the template across ranks when they agree structurally (a
+  // homogeneous periodic run does); otherwise rank 0 stands alone.
+  bool uniform = true;
+  for (int r = 1; r < p && uniform; ++r) {
+    uniform = same_structure(per_rank[0], per_rank[r]);
+  }
+  model.phases = per_rank[0];
+  if (uniform && p > 1) {
+    for (std::size_t i = 0; i < model.phases.size(); ++i) {
+      double gs = 0, gr = 0, in = 0;
+      long long cb = 0;
+      for (int r = 0; r < p; ++r) {
+        gs += per_rank[r][i].gap_send;
+        gr += per_rank[r][i].gap_recv;
+        in += per_rank[r][i].bytes_per_contact;
+        cb = std::max(cb, per_rank[r][i].collective_bytes);
+      }
+      model.phases[i].gap_send = gs / p;
+      model.phases[i].gap_recv = gr / p;
+      model.phases[i].bytes_per_contact = in / p;
+      model.phases[i].collective_bytes = cb;
+    }
+  }
+  return model;
+}
+
+mesh::BoxSpec scale_spec(const mesh::BoxSpec& base, int target_ranks) {
+  const auto grid = mesh::BoxSpec::default_proc_grid(target_ranks);
+  mesh::BoxSpec spec = base;
+  // Weak scaling: per-rank block of the recording, replicated over the
+  // target grid. Non-divisible recordings round to at least one layer.
+  const int bx = std::max(1, base.ex / std::max(1, base.px));
+  const int by = std::max(1, base.ey / std::max(1, base.py));
+  const int bz = std::max(1, base.ez / std::max(1, base.pz));
+  spec.px = grid[0];
+  spec.py = grid[1];
+  spec.pz = grid[2];
+  spec.ex = grid[0] * bx;
+  spec.ey = grid[1] * by;
+  spec.ez = grid[2] * bz;
+  return spec;
+}
+
+Trace extrapolate(const StepModel& model, const mesh::BoxSpec& spec,
+                  int steps) {
+  const int p = spec.nranks();
+  Trace out;
+  out.ranks.resize(p);
+
+  for (int r = 0; r < p; ++r) {
+    const ExchangeStructure st = exchange_structure(spec, r);
+    const mesh::Partition part(spec, r);
+    const double gscale =
+        model.base_elems > 0 ? double(part.nel()) / model.base_elems : 1.0;
+
+    std::size_t per_step = 0;
+    for (const Phase& ph : model.phases) {
+      if (ph.kind == Phase::Kind::kCollective) {
+        per_step += 1;
+      } else if (ph.kind == Phase::Kind::kFaceRound) {
+        for (int d = 0; d < 6; ++d) per_step += st.face_partner[d] >= 0 ? 2 : 0;
+      } else {
+        per_step += 2 * st.gs_contacts.size();
+      }
+    }
+    RankTrace& ev = out.ranks[r];
+    ev.reserve(per_step * std::size_t(steps));
+
+    double t = 0.0;
+    auto push = [&](EventKind kind, int peer, int tag, long long bytes,
+                    const std::string& name = {}) {
+      Event e;
+      e.kind = kind;
+      e.t_start = t;
+      e.t_end = t;
+      e.peer = peer;
+      e.tag = tag;
+      e.bytes = bytes;
+      e.collective = name;
+      ev.push_back(std::move(e));
+    };
+
+    for (int step = 0; step < steps; ++step) {
+      for (const Phase& ph : model.phases) {
+        t += ph.gap_send * gscale;
+        switch (ph.kind) {
+          case Phase::Kind::kCollective:
+            push(EventKind::kCollective, -1, 0, ph.collective_bytes,
+                 ph.collective);
+            break;
+          case Phase::Kind::kFaceRound: {
+            for (int d = 0; d < 6; ++d) {
+              if (st.face_partner[d] < 0) continue;
+              push(EventKind::kSend, st.face_partner[d], kFaceTagBase + d,
+                   std::llround(ph.bytes_per_contact * st.face_contacts[d]));
+            }
+            t += ph.gap_recv * gscale;
+            // The runtime posts the direction-d receive with the partner's
+            // send tag, 64 + opposite(d) — opposite faces pair via d ^ 1.
+            for (int d = 0; d < 6; ++d) {
+              if (st.face_partner[d] < 0) continue;
+              push(EventKind::kRecv, st.face_partner[d],
+                   kFaceTagBase + (d ^ 1),
+                   std::llround(ph.bytes_per_contact * st.face_contacts[d]));
+            }
+            break;
+          }
+          case Phase::Kind::kGsRound: {
+            for (const auto& [partner, ids] : st.gs_contacts) {
+              push(EventKind::kSend, partner, 7,
+                   std::llround(ph.bytes_per_contact * double(ids)));
+            }
+            t += ph.gap_recv * gscale;
+            for (const auto& [partner, ids] : st.gs_contacts) {
+              push(EventKind::kRecv, partner, 7,
+                   std::llround(ph.bytes_per_contact * double(ids)));
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+netmodel::ExchangeShape shape_at(const mesh::BoxSpec& spec, int rank,
+                                 double bytes_per_contact) {
+  const ExchangeStructure st = exchange_structure(spec, rank);
+  const mesh::Partition part(spec, rank);
+
+  netmodel::ExchangeShape shape;
+  shape.ranks = spec.nranks();
+  shape.neighbors = int(st.gs_contacts.size());
+  long long total = 0;
+  for (const auto& [partner, ids] : st.gs_contacts) total += ids;
+  shape.pairwise_bytes = std::llround(bytes_per_contact * double(total));
+
+  // Distinct boundary ids of the block: whole point lattice minus the
+  // interior once each shared plane is peeled off its axis.
+  const long long pts[3] = {1LL * part.nelx() * (spec.n - 1) + 1,
+                            1LL * part.nely() * (spec.n - 1) + 1,
+                            1LL * part.nelz() * (spec.n - 1) + 1};
+  long long inner = 1, whole = 1;
+  for (int a = 0; a < 3; ++a) {
+    const int planes = (st.face_partner[2 * a] >= 0 ? 1 : 0) +
+                       (st.face_partner[2 * a + 1] >= 0 ? 1 : 0);
+    whole *= pts[a];
+    inner *= std::max(0LL, pts[a] - planes);
+  }
+  shape.crystal_records = (whole - inner) / 2;  // min-rank ownership ~ half
+  shape.record_bytes = sizeof(long long) + sizeof(double);
+  shape.big_vector_bytes =
+      mesh::total_gll_points(spec) * static_cast<long long>(sizeof(double));
+  return shape;
+}
+
+}  // namespace cmtbone::trace

@@ -1,0 +1,111 @@
+#pragma once
+// Trace extrapolation: synthesize an at-scale trace from a small recording.
+//
+// The paper's co-design loop needs behavior at ranks counts nobody can run
+// ("fast and scalable Behavioral Emulation ... up to millions of cores",
+// §III-C). A small recorded run (8-16 ranks of the mini-app) carries the
+// machine-specific numbers — compute gaps between exchanges, payload per
+// contact point, the per-step collective sequence — while the mesh and
+// gather-scatter structural model says exactly which partners exist and how
+// many interface points they share at any rank count. This module marries
+// the two: extract_step_model() distils the recording into a per-step
+// template, and extrapolate() re-expands that template at an arbitrary
+// processor grid into a causally consistent Trace that trace::replay can
+// re-time under any LogGP machine.
+//
+// Extraction is structural, not a copy: the steady-state step is located by
+// suffix periodicity (which drops gs_setup handshakes and warm-up), p2p
+// events are classified by tag into face-exchange rounds (tags 64..69, one
+// per face direction) and gather-scatter rounds (everything else, one
+// merged message per partner), and each round's payload is normalized to
+// bytes per structural contact point so it re-scales exactly with the
+// partition geometry.
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mesh/partition.hpp"
+#include "netmodel/loggp.hpp"
+#include "trace/trace.hpp"
+
+namespace cmtbone::trace {
+
+/// One phase of the steady-state step template.
+struct Phase {
+  enum class Kind { kFaceRound, kGsRound, kCollective };
+  Kind kind = Kind::kCollective;
+
+  /// Compute gaps (seconds on the recording machine, per base-rank element
+  /// count): before the phase's first send, and between the sends and the
+  /// first receive completion (overlapped compute lives in the latter).
+  double gap_send = 0.0;
+  double gap_recv = 0.0;
+
+  /// Payload intensity, bytes per structural contact point — per interface
+  /// GLL face point for face rounds, per shared global id for gs rounds.
+  double bytes_per_contact = 0.0;
+
+  /// kCollective only: recorded operation and payload (scale-invariant;
+  /// the replayer charges the P-dependent part analytically).
+  std::string collective;
+  long long collective_bytes = 0;
+};
+
+/// The distilled per-step communication template of a recorded run.
+struct StepModel {
+  mesh::BoxSpec base;          // geometry of the recording
+  double base_elems = 0.0;     // per-rank elements of the reference rank
+  std::vector<Phase> phases;   // one steady step, in order
+  double step_seconds = 0.0;   // recorded wall time of that step (diagnostic)
+};
+
+/// Structural exchange partners of one rank at scale `spec`.
+struct ExchangeStructure {
+  /// Per face direction (mesh face numbering: axis = d/2, side = d%2):
+  /// partner rank (-1 when none: physical boundary or self) and GLL face
+  /// points on the shared plane.
+  std::array<int, 6> face_partner{};
+  std::array<long long, 6> face_contacts{};
+  /// Pairwise gather-scatter partners, ascending rank, with the number of
+  /// global ids shared with each (the gs handle's per-neighbor entry
+  /// count — edge/corner ids appear once per sharing partner).
+  std::vector<std::pair<int, long long>> gs_contacts;
+};
+ExchangeStructure exchange_structure(const mesh::BoxSpec& spec, int rank);
+
+/// Distil the steady-state step template from a recorded trace. The final
+/// step is located per rank by suffix periodicity of the event signature
+/// sequence (smallest period that repeats twice and contains a collective);
+/// phase gaps and intensities are averaged across ranks when every rank
+/// exhibits the same phase structure (a homogeneous periodic run does),
+/// otherwise rank 0's template is used. Throws std::runtime_error when no
+/// steady period exists (too few steps, or no collectives recorded — run
+/// the recording in CFL mode).
+StepModel extract_step_model(const Trace& trace, const mesh::BoxSpec& base);
+
+/// Weak-scaled problem spec at `target_ranks`: the processor grid grows to
+/// default_proc_grid(target_ranks) and every rank keeps the recording's
+/// per-rank element block, so the per-step template applies unchanged.
+mesh::BoxSpec scale_spec(const mesh::BoxSpec& base, int target_ranks);
+
+/// Synthesize a causally consistent `steps`-step trace at spec.nranks()
+/// ranks from the template: per rank, each phase re-expands against that
+/// rank's live exchange_structure() (face sends/recvs per direction with
+/// the face-exchange tag pairing, one merged gs message per partner in
+/// ascending order, collectives in lockstep), with compute gaps scaled by
+/// the rank's element count relative to the recording. Deterministic:
+/// identical inputs give a bit-identical trace.
+Trace extrapolate(const StepModel& model, const mesh::BoxSpec& spec,
+                  int steps);
+
+/// One rank's gs exchange shape at scale `spec` for analytic netmodel
+/// predictions beyond replayable rank counts. `bytes_per_contact` supplies
+/// the pairwise payload intensity (from the model's gs phases). Crystal
+/// records are approximated as half the rank's distinct boundary ids
+/// (min-rank ownership splits a torus surface about evenly).
+netmodel::ExchangeShape shape_at(const mesh::BoxSpec& spec, int rank,
+                                 double bytes_per_contact);
+
+}  // namespace cmtbone::trace

@@ -8,8 +8,6 @@
 
 namespace cmtbone::trace {
 
-namespace {
-
 double collective_cost(const std::string& name, long long bytes, int nranks,
                        const netmodel::LogGPParams& m) {
   if (nranks <= 1) return 0.0;
@@ -28,13 +26,15 @@ double collective_cost(const std::string& name, long long bytes, int nranks,
            bytes * m.gap_per_byte();
   }
   if (name == "MPI_Scan") {
-    // Linear chain.
-    return nranks * msg;
+    // Linear chain: a scan over P ranks crosses P-1 hops.
+    return (nranks - 1) * msg;
   }
   // bcast, reduce, gather(v), comm_split, and anything unrecognized:
   // one binomial sweep.
   return stages * msg;
 }
+
+namespace {
 
 struct MessageKey {
   int src, dst, tag;
@@ -53,6 +53,10 @@ ReplayResult replay(const Trace& trace, const ReplayConfig& config) {
 
   ReplayResult result;
   result.rank_finish.assign(p, 0.0);
+  // A trace with no events replays to a well-defined all-zero result (the
+  // besim benches divide by the makespan; they guard, but the contract
+  // should not depend on loop fall-through).
+  if (trace.total_events() == 0) return result;
 
   std::vector<std::size_t> next(p, 0);    // next event index per rank
   std::vector<double> clock(p, 0.0);      // virtual time per rank
@@ -110,9 +114,11 @@ ReplayResult replay(const Trace& trace, const ReplayConfig& config) {
     }
 
     // Collective rendezvous: if every unfinished rank is parked at a
-    // collective with the same per-rank ordinal, execute it synchronously.
+    // collective with the same per-rank ordinal and the same operation,
+    // execute it synchronously.
     bool all_at_coll = done < p;
     long long k = -1;
+    const std::string* coll_name = nullptr;
     for (int r = 0; r < p && all_at_coll; ++r) {
       if (next[r] >= trace.ranks[r].size()) {
         // A finished rank cannot join a collective: sequences mismatch.
@@ -121,6 +127,13 @@ ReplayResult replay(const Trace& trace, const ReplayConfig& config) {
       }
       const Event& e = trace.ranks[r][next[r]];
       if (e.kind != EventKind::kCollective) {
+        all_at_coll = false;
+        break;
+      }
+      if (coll_name == nullptr) coll_name = &e.collective;
+      if (e.collective != *coll_name) {
+        // Ranks naming different collectives at one rendezvous would have
+        // deadlocked (or corrupted) on the real fabric.
         all_at_coll = false;
         break;
       }

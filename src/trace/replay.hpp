@@ -39,11 +39,21 @@ struct ReplayResult {
 
 /// Replay `trace` on the modeled machine. Throws std::runtime_error if the
 /// trace is causally inconsistent (a receive whose message is never sent,
-/// or mismatched collective sequences).
+/// mismatched collective sequences — including a rank finishing before a
+/// collective or ranks naming different collectives at one rendezvous).
+/// An empty trace replays to an all-zero result.
 ///
 /// Limitation: collectives are modeled as world-communicator rendezvous;
 /// traces from jobs that run collectives on split communicators are not
 /// replayable (the mini-apps here only use world collectives).
 ReplayResult replay(const Trace& trace, const ReplayConfig& config);
+
+/// Analytic cost charged for one whole-communicator collective during
+/// replay: binomial sweeps for the tree collectives, serialized per-partner
+/// overhead for the all-to-alls, a P-1 hop chain for MPI_Scan, and one
+/// binomial sweep for anything unrecognized. Exposed so the cost formulas
+/// can be pinned by unit tests.
+double collective_cost(const std::string& name, long long bytes, int nranks,
+                       const netmodel::LogGPParams& machine);
 
 }  // namespace cmtbone::trace

@@ -1,0 +1,286 @@
+// Trace extrapolation: step-template extraction and at-scale synthesis.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/runtime.hpp"
+#include "core/driver.hpp"
+#include "mesh/numbering.hpp"
+#include "trace/extrapolate.hpp"
+#include "trace/replay.hpp"
+
+namespace {
+
+using cmtbone::comm::Comm;
+using cmtbone::mesh::BoxSpec;
+using cmtbone::trace::Event;
+using cmtbone::trace::EventKind;
+using cmtbone::trace::ExchangeStructure;
+using cmtbone::trace::Phase;
+using cmtbone::trace::Recorder;
+using cmtbone::trace::ReplayConfig;
+using cmtbone::trace::StepModel;
+using cmtbone::trace::Trace;
+
+// 8-rank 2x2x2 recording geometry, 2x2x2 elements per rank.
+BoxSpec base_spec(int n = 4) {
+  BoxSpec spec;
+  spec.n = n;
+  spec.px = spec.py = spec.pz = 2;
+  spec.ex = spec.ey = spec.ez = 4;
+  return spec;
+}
+
+cmtbone::core::Config config_for(const BoxSpec& spec) {
+  cmtbone::core::Config cfg;
+  cfg.n = spec.n;
+  cfg.ex = spec.ex;
+  cfg.ey = spec.ey;
+  cfg.ez = spec.ez;
+  cfg.px = spec.px;
+  cfg.py = spec.py;
+  cfg.pz = spec.pz;
+  cfg.periodic = spec.periodic;
+  // CFL mode: the per-step dt reduction is the collective the period
+  // detector keys on. Pairwise gs keeps one message per partner.
+  cfg.gs_method = cmtbone::gs::Method::kPairwise;
+  return cfg;
+}
+
+Trace record_run(const BoxSpec& spec, int steps) {
+  Recorder recorder(spec.nranks());
+  cmtbone::comm::RunOptions opts;
+  opts.tracer = &recorder;
+  cmtbone::comm::run(spec.nranks(), [&](Comm& world) {
+    cmtbone::core::Driver driver(world, config_for(spec));
+    driver.initialize(driver.default_ic());
+    driver.run(steps);
+  }, opts);
+  return recorder.take();
+}
+
+// --- structural model ----------------------------------------------------------
+
+TEST(ExchangeStructure, PeriodicTorusCornerRankHasAllPartners) {
+  // On a periodic 2x2x2 grid every rank has a partner across each face and
+  // reaches every other rank through the 26 directions.
+  const BoxSpec spec = base_spec();
+  const ExchangeStructure st = cmtbone::trace::exchange_structure(spec, 0);
+  for (int d = 0; d < 6; ++d) {
+    EXPECT_GE(st.face_partner[d], 0) << "face " << d;
+    // 2x2 element plane of n^2 GLL face points each.
+    EXPECT_EQ(st.face_contacts[d], 4LL * spec.n * spec.n) << "face " << d;
+  }
+  // All 7 other ranks are gs partners (directions merge per rank).
+  EXPECT_EQ(st.gs_contacts.size(), 7u);
+  for (const auto& [partner, ids] : st.gs_contacts) {
+    EXPECT_NE(partner, 0);
+    EXPECT_GT(ids, 0);
+  }
+}
+
+TEST(ExchangeStructure, SingleRankAxisHasNoSelfMessages) {
+  // px=py=pz=1: every direction wraps onto the rank itself — no messages.
+  BoxSpec spec;
+  spec.n = 4;
+  spec.px = spec.py = spec.pz = 1;
+  spec.ex = spec.ey = spec.ez = 2;
+  const ExchangeStructure st = cmtbone::trace::exchange_structure(spec, 0);
+  for (int d = 0; d < 6; ++d) {
+    EXPECT_EQ(st.face_partner[d], -1);
+    EXPECT_EQ(st.face_contacts[d], 0);
+  }
+  EXPECT_TRUE(st.gs_contacts.empty());
+}
+
+TEST(ExchangeStructure, FaceContactsMatchPlaneGeometry) {
+  // 4x2x1 processor grid, 1-element block per rank: the x-face plane is
+  // 1x1 elements, so n^2 contacts; a y-face sees the same.
+  BoxSpec spec;
+  spec.n = 5;
+  spec.px = 4;
+  spec.py = 2;
+  spec.pz = 1;
+  spec.ex = 4;
+  spec.ey = 2;
+  spec.ez = 1;
+  const ExchangeStructure st = cmtbone::trace::exchange_structure(spec, 0);
+  EXPECT_EQ(st.face_contacts[0], 25);  // -x: 1x1 element plane, 5x5 points
+  EXPECT_EQ(st.face_contacts[2], 25);  // -y
+}
+
+// --- scale_spec -----------------------------------------------------------------
+
+TEST(ScaleSpec, WeakScalingKeepsThePerRankBlock) {
+  const BoxSpec base = base_spec();
+  for (int p : {2, 8, 64, 4096}) {
+    const BoxSpec target = cmtbone::trace::scale_spec(base, p);
+    EXPECT_EQ(target.nranks(), p);
+    EXPECT_EQ(target.n, base.n);
+    // 2x2x2 elements per rank at every scale.
+    EXPECT_EQ(target.ex / target.px, 2);
+    EXPECT_EQ(target.ey / target.py, 2);
+    EXPECT_EQ(target.ez / target.pz, 2);
+  }
+}
+
+// --- extraction -----------------------------------------------------------------
+
+TEST(Extraction, FindsTheSteadyStepOfALiveRun) {
+  const BoxSpec base = base_spec();
+  const Trace trace = record_run(base, 4);
+  const StepModel model = cmtbone::trace::extract_step_model(trace, base);
+
+  // The driver's steady step: one face round per RK3 stage, one gs round
+  // per conserved field (dssum), and the CFL dt allreduce.
+  int faces = 0, gs = 0, colls = 0;
+  for (const Phase& ph : model.phases) {
+    if (ph.kind == Phase::Kind::kFaceRound) ++faces;
+    if (ph.kind == Phase::Kind::kGsRound) ++gs;
+    if (ph.kind == Phase::Kind::kCollective) ++colls;
+  }
+  EXPECT_EQ(faces, 3);
+  EXPECT_EQ(gs, 5);
+  EXPECT_EQ(colls, 1);
+  EXPECT_GT(model.step_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(model.base_elems, 8.0);
+
+  // Exchange rounds carry a meaningful payload intensity (multiple fields
+  // of 8-byte values per contact point).
+  for (const Phase& ph : model.phases) {
+    if (ph.kind != Phase::Kind::kCollective) {
+      EXPECT_GE(ph.bytes_per_contact, 8.0);
+    }
+  }
+}
+
+TEST(Extraction, ThrowsWithoutASteadyPeriod) {
+  // A run with no collectives (fixed dt disables the CFL reduction) has no
+  // per-step marker; extraction must refuse rather than guess.
+  const BoxSpec base = base_spec();
+  Recorder recorder(base.nranks());
+  cmtbone::comm::RunOptions opts;
+  opts.tracer = &recorder;
+  cmtbone::comm::run(base.nranks(), [&](Comm& world) {
+    cmtbone::core::Config cfg = config_for(base);
+    cfg.fixed_dt = 1e-3;
+    cmtbone::core::Driver driver(world, cfg);
+    driver.initialize(driver.default_ic());
+    driver.run(2);
+  }, opts);
+  Trace trace = recorder.take();
+  EXPECT_THROW(cmtbone::trace::extract_step_model(trace, base),
+               std::runtime_error);
+}
+
+TEST(Extraction, RejectsMismatchedRankCount) {
+  const BoxSpec base = base_spec();
+  const Trace trace = record_run(base, 4);
+  BoxSpec wrong = base;
+  wrong.px = 4;
+  wrong.ex = 8;  // 16 ranks
+  EXPECT_THROW(cmtbone::trace::extract_step_model(trace, wrong),
+               std::runtime_error);
+}
+
+// --- synthesis ------------------------------------------------------------------
+
+class ExtrapolateFromLiveRun : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    base_ = new BoxSpec(base_spec());
+    model_ = new StepModel(cmtbone::trace::extract_step_model(
+        record_run(*base_, 4), *base_));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete base_;
+    model_ = nullptr;
+    base_ = nullptr;
+  }
+  static BoxSpec* base_;
+  static StepModel* model_;
+};
+BoxSpec* ExtrapolateFromLiveRun::base_ = nullptr;
+StepModel* ExtrapolateFromLiveRun::model_ = nullptr;
+
+TEST_F(ExtrapolateFromLiveRun, IdentityScaleReplaysCausallyConsistent) {
+  const Trace synthetic =
+      cmtbone::trace::extrapolate(*model_, *base_, /*steps=*/2);
+  EXPECT_EQ(synthetic.nranks(), base_->nranks());
+  ReplayConfig cfg;
+  cfg.machine = cmtbone::netmodel::qdr_infiniband();
+  auto result = cmtbone::trace::replay(synthetic, cfg);  // no throw
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_GT(result.messages, 0u);
+}
+
+TEST_F(ExtrapolateFromLiveRun, LargerGridsStayCausallyConsistent) {
+  // The synthesized tag pairing must line up across ranks the recording
+  // never saw — an unmatched receive or stalled collective throws.
+  ReplayConfig cfg;
+  cfg.machine = cmtbone::netmodel::qdr_infiniband();
+  for (int p : {2, 27, 64}) {
+    const BoxSpec target = cmtbone::trace::scale_spec(*base_, p);
+    const Trace synthetic =
+        cmtbone::trace::extrapolate(*model_, target, /*steps=*/2);
+    EXPECT_EQ(synthetic.nranks(), p);
+    auto result = cmtbone::trace::replay(synthetic, cfg);
+    EXPECT_GT(result.makespan, 0.0) << p << " ranks";
+  }
+}
+
+TEST_F(ExtrapolateFromLiveRun, SynthesisIsDeterministic) {
+  const BoxSpec target = cmtbone::trace::scale_spec(*base_, 16);
+  const Trace a = cmtbone::trace::extrapolate(*model_, target, 2);
+  const Trace b = cmtbone::trace::extrapolate(*model_, target, 2);
+  ASSERT_EQ(a.nranks(), b.nranks());
+  for (int r = 0; r < a.nranks(); ++r) {
+    ASSERT_EQ(a.ranks[r].size(), b.ranks[r].size()) << "rank " << r;
+    for (std::size_t i = 0; i < a.ranks[r].size(); ++i) {
+      const Event& x = a.ranks[r][i];
+      const Event& y = b.ranks[r][i];
+      EXPECT_EQ(x.kind, y.kind);
+      EXPECT_EQ(x.t_start, y.t_start);
+      EXPECT_EQ(x.peer, y.peer);
+      EXPECT_EQ(x.tag, y.tag);
+      EXPECT_EQ(x.bytes, y.bytes);
+      EXPECT_EQ(x.collective, y.collective);
+    }
+  }
+}
+
+TEST_F(ExtrapolateFromLiveRun, StepsMultiplyTheSynthesizedWork) {
+  const BoxSpec target = cmtbone::trace::scale_spec(*base_, 8);
+  ReplayConfig cfg;
+  cfg.machine = cmtbone::netmodel::qdr_infiniband();
+  auto one = cmtbone::trace::replay(
+      cmtbone::trace::extrapolate(*model_, target, 1), cfg);
+  auto four = cmtbone::trace::replay(
+      cmtbone::trace::extrapolate(*model_, target, 4), cfg);
+  EXPECT_EQ(four.messages, 4 * one.messages);
+  EXPECT_EQ(four.bytes, 4 * one.bytes);
+  EXPECT_NEAR(four.makespan, 4.0 * one.makespan, 0.25 * four.makespan);
+}
+
+TEST_F(ExtrapolateFromLiveRun, ShapeAtScalesWithTheGrid) {
+  const double intensity = 40.0;  // 5 fields x 8 bytes per shared id
+  const BoxSpec small = cmtbone::trace::scale_spec(*base_, 8);
+  const BoxSpec big = cmtbone::trace::scale_spec(*base_, 512);
+  const auto s = cmtbone::trace::shape_at(small, 0, intensity);
+  const auto b = cmtbone::trace::shape_at(big, 0, intensity);
+  EXPECT_EQ(s.ranks, 8);
+  EXPECT_EQ(b.ranks, 512);
+  // Weak scaling: the per-rank surface (neighbors, pairwise payload,
+  // crystal records) saturates at the full 26-direction stencil while the
+  // global big-vector grows with the mesh.
+  EXPECT_EQ(b.neighbors, 26);
+  EXPECT_GT(b.big_vector_bytes, s.big_vector_bytes);
+  EXPECT_GT(s.pairwise_bytes, 0);
+  EXPECT_GT(s.crystal_records, 0);
+  EXPECT_EQ(b.big_vector_bytes,
+            cmtbone::mesh::total_gll_points(big) * 8);
+}
+
+}  // namespace

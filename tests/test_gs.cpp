@@ -8,6 +8,7 @@
 
 #include "chaos/chaos.hpp"
 #include "comm/runtime.hpp"
+#include "core/driver.hpp"
 #include "gs/crystal.hpp"
 #include "gs/gather_scatter.hpp"
 #include "mesh/numbering.hpp"
@@ -405,6 +406,122 @@ TEST(GsAuto, TuningPicksSomeMethodAndRecordsAllThree) {
       EXPECT_LE(row.avg, row.max + 1e-12);
     }
   });
+}
+
+// --- model-driven selection (Method::kModel) ------------------------------------
+
+// Clears the process-wide calibrated machine on scope exit so a failing
+// assertion cannot leak calibration into later tests.
+struct CalibrationGuard {
+  explicit CalibrationGuard(const cmtbone::netmodel::LogGPParams& p) {
+    cmtbone::netmodel::set_calibrated_machine(p);
+  }
+  ~CalibrationGuard() { cmtbone::netmodel::clear_calibrated_machine(); }
+};
+
+TEST(GsModel, WithoutCalibrationFallsBackToMeasuredTuning) {
+  cmtbone::netmodel::clear_calibrated_machine();
+  auto spec = small_spec(2, 2, 1);
+  auto ids = mesh_ids(spec);
+  cmtbone::comm::run(spec.nranks(), [&](Comm& world) {
+    GatherScatter gs(world, ids[world.rank()], Method::kModel);
+    EXPECT_NE(gs.method(), Method::kModel);
+    EXPECT_NE(gs.method(), Method::kAuto);
+    // The fallback is tune(), which measures all three algorithms.
+    EXPECT_EQ(gs.tuning().size(), 3u);
+  });
+}
+
+TEST(GsModel, CalibratedSelectionAgreesAcrossRanks) {
+  CalibrationGuard cal(cmtbone::netmodel::qdr_infiniband());
+  auto spec = small_spec(2, 2, 1);
+  auto ids = mesh_ids(spec);
+  std::vector<Method> chosen(spec.nranks());
+  cmtbone::comm::run(spec.nranks(), [&](Comm& world) {
+    GatherScatter gs(world, ids[world.rank()], Method::kModel);
+    EXPECT_NE(gs.method(), Method::kModel);
+    // Predicted costs for all three algorithms back the choice.
+    EXPECT_EQ(gs.tuning().size(), 3u);
+    chosen[world.rank()] = gs.method();
+  });
+  // A rank-divergent pick would deadlock the collective algorithms; the
+  // selector reduces predictions so every rank lands on one method.
+  for (int r = 1; r < spec.nranks(); ++r) {
+    EXPECT_EQ(chosen[r], chosen[0]) << "rank " << r;
+  }
+}
+
+TEST(GsModel, ModelSelectionIsBitIdenticalToForcedMethod) {
+  CalibrationGuard cal(cmtbone::netmodel::qdr_infiniband());
+  auto spec = small_spec(2, 2, 1);
+  auto ids = mesh_ids(spec);
+  cmtbone::comm::run(spec.nranks(), [&](Comm& world) {
+    GatherScatter model_gs(world, ids[world.rank()], Method::kModel);
+    const Method picked = model_gs.method();
+    GatherScatter forced_gs(world, ids[world.rank()], picked);
+
+    const auto& my_ids = ids[world.rank()];
+    std::vector<double> a(my_ids.size()), b(my_ids.size());
+    for (std::size_t s = 0; s < my_ids.size(); ++s) {
+      a[s] = b[s] = slot_value(17, world.rank(), s);
+    }
+    model_gs.exec(std::span<double>(a), ReduceOp::kSum);
+    forced_gs.exec(std::span<double>(b), ReduceOp::kSum);
+    for (std::size_t s = 0; s < my_ids.size(); ++s) {
+      EXPECT_EQ(a[s], b[s]) << "slot " << s;  // exact, not approximate
+    }
+  });
+}
+
+TEST(GsModel, DriverFieldsBitIdenticalToForcedMethodAcrossRanksAndOverlap) {
+  CalibrationGuard cal(cmtbone::netmodel::qdr_infiniband());
+  for (int ranks : {1, 2, 4}) {
+    for (bool overlap : {false, true}) {
+      auto run_fields = [&](cmtbone::gs::Method method,
+                            cmtbone::gs::Method* picked) {
+        std::vector<std::vector<double>> fields;
+        cmtbone::comm::run(ranks, [&](Comm& world) {
+          cmtbone::core::Config cfg;
+          cfg.n = 4;
+          cfg.ex = cfg.ey = cfg.ez = 2;
+          auto grid = cmtbone::mesh::BoxSpec::default_proc_grid(ranks);
+          cfg.px = grid[0];
+          cfg.py = grid[1];
+          cfg.pz = grid[2];
+          cfg.gs_method = method;
+          cfg.overlap = overlap;
+          cmtbone::core::Driver driver(world, cfg);
+          driver.initialize(driver.default_ic());
+          driver.run(2);
+          if (world.rank() == 0) {
+            if (picked != nullptr) {
+              *picked = driver.gather_scatter().method();
+            }
+            for (int f = 0; f < driver.nfields(); ++f) {
+              auto span = driver.field(f);
+              fields.emplace_back(span.begin(), span.end());
+            }
+          }
+        });
+        return fields;
+      };
+
+      cmtbone::gs::Method picked = Method::kModel;
+      const auto model_fields = run_fields(Method::kModel, &picked);
+      ASSERT_NE(picked, Method::kModel);
+      const auto forced_fields = run_fields(picked, nullptr);
+
+      ASSERT_EQ(model_fields.size(), forced_fields.size());
+      for (std::size_t f = 0; f < model_fields.size(); ++f) {
+        ASSERT_EQ(model_fields[f].size(), forced_fields[f].size());
+        for (std::size_t i = 0; i < model_fields[f].size(); ++i) {
+          ASSERT_EQ(model_fields[f][i], forced_fields[f][i])
+              << ranks << " ranks, overlap " << overlap << ", field " << f
+              << ", node " << i;
+        }
+      }
+    }
+  }
 }
 
 TEST(GsEdge, SingleRankHasNoSharersAndExecIsLocalOnly) {

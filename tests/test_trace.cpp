@@ -185,6 +185,83 @@ TEST(Replay, MakespanIsMaxOfRankFinishTimes) {
   EXPECT_DOUBLE_EQ(result.rank_finish[2], 0.0);
 }
 
+// --- collective cost formulas, pinned ------------------------------------------
+
+TEST(Replay, CollectiveCostFormulasArePinned) {
+  using cmtbone::trace::collective_cost;
+  LogGPParams m = simple_machine(1e-5, 1e-6, 1e8);
+  const int p = 8;
+  const int stages = 3;  // ceil(log2 8)
+  const long long bytes = 4000;
+  const double msg = m.latency + 2.0 * m.overhead + bytes / m.bandwidth;
+
+  // Allreduce and the allgathers: reduce sweep + broadcast sweep.
+  EXPECT_DOUBLE_EQ(collective_cost("MPI_Allreduce", bytes, p, m),
+                   2.0 * stages * msg);
+  EXPECT_DOUBLE_EQ(collective_cost("MPI_Allgather", bytes, p, m),
+                   2.0 * stages * msg);
+  // Barrier: one payload-free sweep.
+  EXPECT_DOUBLE_EQ(collective_cost("MPI_Barrier", 0, p, m),
+                   stages * (m.latency + 2.0 * m.overhead));
+  // Alltoall: per-partner overheads serialize, wire time overlaps.
+  EXPECT_DOUBLE_EQ(
+      collective_cost("MPI_Alltoallv", bytes, p, m),
+      2.0 * (p - 1) * m.overhead + m.latency + bytes / m.bandwidth);
+  // Scan: a linear chain crosses P-1 hops — not P (the off-by-one this
+  // formula once had would have charged a phantom hop at every scale).
+  EXPECT_DOUBLE_EQ(collective_cost("MPI_Scan", bytes, p, m),
+                   (p - 1) * msg);
+  // Tree collectives and anything unrecognized: one binomial sweep.
+  EXPECT_DOUBLE_EQ(collective_cost("MPI_Bcast", bytes, p, m), stages * msg);
+  EXPECT_DOUBLE_EQ(collective_cost("MPI_Frobnicate", bytes, p, m),
+                   stages * msg);
+  // Degenerate communicator: nothing to exchange.
+  EXPECT_DOUBLE_EQ(collective_cost("MPI_Allreduce", bytes, 1, m), 0.0);
+}
+
+TEST(Replay, EmptyTraceReplaysToAllZeroResult) {
+  Trace trace;
+  trace.ranks.resize(3);
+  ReplayConfig cfg;
+  cfg.machine = simple_machine(1e-6, 1e-7, 1e9);
+  auto result = cmtbone::trace::replay(trace, cfg);
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+  EXPECT_EQ(result.messages, 0u);
+  EXPECT_EQ(result.bytes, 0);
+  ASSERT_EQ(result.rank_finish.size(), 3u);
+  for (double f : result.rank_finish) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+// --- causal-inconsistency detection --------------------------------------------
+
+TEST(Replay, RankFinishingBeforeCollectiveThrows) {
+  // Rank 0 reaches a barrier rank 1 never joins: deadlock on a real fabric.
+  Trace trace;
+  trace.ranks.resize(2);
+  Event e;
+  e.kind = EventKind::kCollective;
+  e.collective = "MPI_Barrier";
+  trace.ranks[0].push_back(e);
+  trace.ranks[1].push_back(make_event(EventKind::kSend, 0, 0, 0, 1, 8));
+  ReplayConfig cfg;
+  cfg.machine = simple_machine(1e-6, 1e-7, 1e9);
+  EXPECT_THROW(cmtbone::trace::replay(trace, cfg), std::runtime_error);
+}
+
+TEST(Replay, MismatchedCollectiveNamesThrow) {
+  Trace trace;
+  trace.ranks.resize(2);
+  Event a, b;
+  a.kind = b.kind = EventKind::kCollective;
+  a.collective = "MPI_Barrier";
+  b.collective = "MPI_Allreduce";
+  trace.ranks[0].push_back(a);
+  trace.ranks[1].push_back(b);
+  ReplayConfig cfg;
+  cfg.machine = simple_machine(1e-6, 1e-7, 1e9);
+  EXPECT_THROW(cmtbone::trace::replay(trace, cfg), std::runtime_error);
+}
+
 TEST(Replay, UnmatchedReceiveThrows) {
   Trace trace;
   trace.ranks.resize(2);
@@ -290,6 +367,40 @@ TEST(Recording, LiveCmtBoneTraceReplays) {
   EXPECT_GT(slow.messages, 0u);
   EXPECT_EQ(slow.messages, fast.messages);  // same behavior, new timing
   EXPECT_EQ(slow.bytes, fast.bytes);
+}
+
+TEST(Recording, ReplayOfALiveTraceIsDeterministic) {
+  // Two replays of one recorded trace must agree bit-for-bit: replay is a
+  // pure function of (trace, config), with no hidden scheduler state.
+  const int ranks = 2;
+  Recorder recorder(ranks);
+  cmtbone::comm::RunOptions opts;
+  opts.tracer = &recorder;
+  cmtbone::comm::run(ranks, [](Comm& world) {
+    cmtbone::core::Config cfg;
+    cfg.n = 4;
+    cfg.ex = cfg.ey = cfg.ez = 2;
+    cfg.fixed_dt = 1e-3;
+    cmtbone::core::Driver driver(world, cfg);
+    driver.initialize(driver.default_ic());
+    driver.run(2);
+  }, opts);
+  Trace trace = recorder.take();
+
+  ReplayConfig cfg;
+  cfg.machine = cmtbone::netmodel::qdr_infiniband();
+  auto first = cmtbone::trace::replay(trace, cfg);
+  auto second = cmtbone::trace::replay(trace, cfg);
+  EXPECT_EQ(first.makespan, second.makespan);
+  EXPECT_EQ(first.total_compute, second.total_compute);
+  EXPECT_EQ(first.total_comm, second.total_comm);
+  EXPECT_EQ(first.total_blocked, second.total_blocked);
+  EXPECT_EQ(first.messages, second.messages);
+  EXPECT_EQ(first.bytes, second.bytes);
+  ASSERT_EQ(first.rank_finish.size(), second.rank_finish.size());
+  for (std::size_t r = 0; r < first.rank_finish.size(); ++r) {
+    EXPECT_EQ(first.rank_finish[r], second.rank_finish[r]);
+  }
 }
 
 TEST(Recording, TakeResetsTheRecorder) {
