@@ -1,0 +1,472 @@
+// Service study: what multi-tenant fault isolation costs and proves.
+//
+// The scenario is the service layer's reason to exist: several tenants
+// submit simulation jobs into one worker pool while one tenant's jobs die
+// over and over from injected faults (a repeating step-boundary kill).
+// Part 1 measures goodput isolation: the healthy tenants' completed
+// steps/second with the faulty tenant present must stay within 10% of the
+// same workload on a fault-free service — per-tenant worker quotas plus
+// per-job fault domains keep a crash-looping neighbor from eating the
+// pool. Part 2 checks attribution: every faulted job ends kFailed with the
+// chaos fault named in its own JobReport, and every healthy job still
+// completes — a fault is never service-wide. Part 3 exercises
+// checkpoint-backed preemption: a high-priority job evicts a running
+// low-priority job, which later resumes from its suspend checkpoint and
+// finishes bit-identical to an undisturbed run. Results land in
+// BENCH_service.json.
+//
+// Usage: service_study [--jobs 8] [--steps 120] [--json BENCH_service.json]
+//        service_study --smoke   CI gate: goodput ratio >= 0.9, faults
+//                                attributed per job, preempt/resume
+//                                bit-identity; also writes the JSON.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "core/driver.hpp"
+#include "prof/timer.hpp"
+#include "service/scheduler.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using cmtbone::chaos::ChaosEngine;
+using cmtbone::chaos::ChaosPolicy;
+using cmtbone::comm::Comm;
+using cmtbone::core::Config;
+using cmtbone::core::Driver;
+using cmtbone::service::JobHandle;
+using cmtbone::service::JobReport;
+using cmtbone::service::JobSpec;
+using cmtbone::service::JobState;
+using cmtbone::service::Scheduler;
+using cmtbone::service::ServiceOptions;
+
+Config study_config() {
+  Config cfg;
+  cfg.n = 6;
+  cfg.ex = cfg.ey = cfg.ez = 2;
+  cfg.fixed_dt = 1e-4;
+  return cfg;
+}
+
+// Scratch root for one scheduler's per-job checkpoint directories; prefers
+// tmpfs so the study measures the service machinery, not the scratch disk.
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& tag) {
+    fs::path base = fs::temp_directory_path();
+    std::error_code ec;
+    if (fs::is_directory("/dev/shm", ec)) base = "/dev/shm";
+    path =
+        base / ("cmtbone_service_" + std::to_string(::getpid()) + "_" + tag);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+// --- goodput isolation ------------------------------------------------------
+
+struct GoodputParams {
+  int jobs_per_tenant = 5;   // per healthy tenant
+  int faulted_jobs = 4;
+  int nsteps = 60;
+  int checkpoint_interval = 20;
+};
+
+struct PhaseResult {
+  double goodput = 0.0;  // healthy steps completed per second of makespan
+  long long healthy_steps = 0;
+  double makespan_s = 0.0;
+  int faulted_attributed = 0;  // kFailed with the chaos fault in the error
+  int faulted_other = 0;       // faulted jobs that ended any other way
+  int healthy_completed = 0;
+  int healthy_total = 0;
+  cmtbone::prof::ServiceStats stats;
+};
+
+// One open-arrival phase: two healthy tenants submit jobs_per_tenant jobs
+// each; with_chaos adds a third tenant whose every job dies from a
+// repeating kill until its retry budget drains. The healthy arrival
+// pattern is identical in both phases so their goodputs compare.
+PhaseResult run_phase(const GoodputParams& p, bool with_chaos,
+                      const std::string& tag) {
+  ScratchDir scratch("goodput_" + tag);
+  ServiceOptions opts;
+  // Geometry of the isolation claim: two healthy tenants at quota 2 fit in
+  // the 6-slot pool even when the faulty tenant holds its full quota, so
+  // any goodput loss is service overhead, not capacity theft.
+  opts.total_workers = 6;
+  opts.tenant_max_workers = 2;
+  opts.checkpoint_root = (scratch.path / "jobs").string();
+
+  Config cfg = study_config();
+  std::vector<std::unique_ptr<ChaosEngine>> engines;
+
+  PhaseResult result;
+  cmtbone::prof::WallTimer clock;
+  std::vector<JobHandle> healthy;
+  std::vector<JobHandle> faulted;
+  {
+    Scheduler sched(opts);
+    const char* tenants[] = {"acme", "globex"};
+    const int rounds = std::max(p.jobs_per_tenant, p.faulted_jobs);
+    for (int i = 0; i < rounds; ++i) {
+      for (const char* tenant : tenants) {
+        if (i >= p.jobs_per_tenant) continue;
+        JobSpec spec;
+        spec.tenant = tenant;
+        spec.config = cfg;
+        spec.nsteps = p.nsteps;
+        spec.ranks = 1;
+        spec.checkpoint_interval = p.checkpoint_interval;
+        spec.retry.backoff_initial_ms = 0.1;
+        healthy.push_back(sched.submit(std::move(spec)));
+      }
+      if (with_chaos && i < p.faulted_jobs) {
+        // A node that keeps dying: the kill fires at step 1 and re-arms
+        // one step later, so every retry is killed again almost at once
+        // and the per-job budget drains to a terminal, attributed
+        // failure. Crash-looping this early also bounds how much CPU the
+        // faulty tenant can steal on a fully loaded host — the isolation
+        // the goodput gate measures is quota + fast fault containment,
+        // not idle headroom.
+        ChaosPolicy policy;
+        policy.seed = 90 + std::uint64_t(i);
+        policy.kill_rank = 0;
+        policy.kill_step = 1;
+        policy.kill_period = 1;
+        policy.kill_max_count = 100;
+        engines.push_back(std::make_unique<ChaosEngine>(policy, 1));
+        JobSpec spec;
+        spec.tenant = "chaosco";
+        spec.config = cfg;
+        spec.nsteps = p.nsteps;
+        spec.ranks = 1;
+        spec.checkpoint_interval = p.checkpoint_interval;
+        spec.retry.max_retries = 1;
+        spec.retry.backoff_initial_ms = 0.1;
+        spec.chaos = engines.back().get();
+        faulted.push_back(sched.submit(std::move(spec)));
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    for (const JobHandle& h : healthy) {
+      const JobReport r = h.wait();
+      if (r.state == JobState::kCompleted) result.healthy_completed += 1;
+      result.healthy_steps += r.steps_done;
+    }
+    result.makespan_s = clock.seconds();
+    for (const JobHandle& h : faulted) {
+      const JobReport r = h.wait();
+      if (r.state == JobState::kFailed &&
+          r.error.find("chaos") != std::string::npos) {
+        result.faulted_attributed += 1;
+      } else {
+        result.faulted_other += 1;
+      }
+    }
+    result.stats = sched.stats();
+  }  // ~Scheduler drains
+  result.healthy_total = int(healthy.size());
+  result.goodput =
+      result.makespan_s > 0 ? result.healthy_steps / result.makespan_s : 0.0;
+  return result;
+}
+
+// --- preempt / resume bit-identity -----------------------------------------
+
+using FieldDump = std::map<int, std::vector<std::vector<double>>>;
+
+std::function<void(Driver&, Comm&)> capture_into(FieldDump* dump,
+                                                 std::mutex* mu) {
+  return [dump, mu](Driver& d, Comm& world) {
+    std::vector<std::vector<double>> mine(std::size_t(d.nfields()));
+    for (int f = 0; f < d.nfields(); ++f) {
+      auto span = d.field(f);
+      mine[std::size_t(f)].assign(span.begin(), span.end());
+    }
+    std::lock_guard<std::mutex> lock(*mu);
+    (*dump)[world.rank()] = std::move(mine);
+  };
+}
+
+bool bit_identical(const FieldDump& a, const FieldDump& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [rank, fields] : a) {
+    const auto it = b.find(rank);
+    if (it == b.end() || fields.size() != it->second.size()) return false;
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      if (fields[f] != it->second[f]) return false;
+    }
+  }
+  return true;
+}
+
+struct PreemptResult {
+  bool happened = false;    // the low job was actually suspended + resumed
+  bool identical = false;   // resumed fields == undisturbed fields
+  bool completed = false;   // both jobs reached their step counts
+  int preemptions = 0;
+  int dispatches = 0;
+  int tries = 0;
+};
+
+// Run a long low-priority job, shove a high-priority job in behind it, and
+// compare the evicted-then-resumed job's final fields against an
+// undisturbed run of the same spec. Preemption is timing-dependent (the
+// low job could finish before the eviction lands), so the scenario retries
+// a few times before reporting failure.
+PreemptResult run_preempt_scenario(int nsteps) {
+  PreemptResult result;
+  Config cfg = study_config();
+
+  std::mutex mu;
+  FieldDump baseline;
+  {
+    ScratchDir scratch("preempt_base");
+    ServiceOptions opts;
+    opts.total_workers = 2;
+    opts.checkpoint_root = (scratch.path / "jobs").string();
+    Scheduler sched(opts);
+    JobSpec spec;
+    spec.tenant = "solo";
+    spec.config = cfg;
+    spec.nsteps = nsteps;
+    spec.ranks = 2;
+    spec.checkpoint_interval = 10;
+    spec.on_final = capture_into(&baseline, &mu);
+    const JobReport r = sched.submit(std::move(spec)).wait();
+    if (r.state != JobState::kCompleted) return result;
+  }
+
+  for (int attempt = 0; attempt < 3 && !result.happened; ++attempt) {
+    result.tries = attempt + 1;
+    ScratchDir scratch("preempt_" + std::to_string(attempt));
+    ServiceOptions opts;
+    opts.total_workers = 2;
+    opts.checkpoint_root = (scratch.path / "jobs").string();
+    Scheduler sched(opts);
+
+    FieldDump resumed;
+    JobSpec low;
+    low.tenant = "batch";
+    low.priority = 0;
+    low.config = cfg;
+    low.nsteps = nsteps;
+    low.ranks = 2;
+    low.checkpoint_interval = 10;
+    low.on_final = capture_into(&resumed, &mu);
+    JobHandle low_h = sched.submit(std::move(low));
+
+    // Let the low job actually occupy the pool before the eviction.
+    while (low_h.state() == JobState::kQueued) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    JobSpec high;
+    high.tenant = "urgent";
+    high.priority = 5;
+    high.config = cfg;
+    high.nsteps = 10;
+    high.ranks = 2;
+    high.checkpoint_interval = 10;
+    JobHandle high_h = sched.submit(std::move(high));
+
+    const JobReport high_r = high_h.wait();
+    const JobReport low_r = low_h.wait();
+    result.preemptions = low_r.preemptions;
+    result.dispatches = low_r.dispatches;
+    result.completed = high_r.state == JobState::kCompleted &&
+                       low_r.state == JobState::kCompleted;
+    result.happened = result.completed && low_r.preemptions >= 1 &&
+                      low_r.dispatches >= 2;
+    if (result.happened) result.identical = bit_identical(baseline, resumed);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cmtbone;
+
+  util::Cli cli(argc, argv);
+  cli.describe("jobs", "jobs per healthy tenant (default 8; smoke 5)")
+      .describe("steps", "steps per job (default 120; smoke 60)")
+      .describe("reps", "goodput repetitions, median taken (default 3)")
+      .describe("json", "output file (default BENCH_service.json)")
+      .describe("smoke",
+                "CI gate: goodput ratio >= 0.9, per-job fault attribution, "
+                "preempt/resume bit-identity");
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  cli.reject_unknown();
+
+  const bool smoke = cli.has("smoke");
+  GoodputParams params;
+  params.jobs_per_tenant = cli.get_int("jobs", smoke ? 5 : 8);
+  params.faulted_jobs = smoke ? 4 : 6;
+  params.nsteps = cli.get_int("steps", smoke ? 100 : 120);
+  const int reps = cli.get_int("reps", smoke ? 5 : 3);
+  const std::string json_path = cli.get("json", "BENCH_service.json");
+
+  // --- part 1+2: goodput isolation and fault attribution -------------------
+  {
+    // Untimed warm-up: first-touch allocations, thread stacks, and the
+    // tmpfs scratch dir all land outside the timed reps.
+    GoodputParams warm;
+    warm.jobs_per_tenant = 1;
+    warm.faulted_jobs = 0;
+    warm.nsteps = 5;
+    run_phase(warm, false, "warmup");
+  }
+  std::vector<double> ratios;
+  PhaseResult clean, chaos;  // last rep's phases, for reporting
+  bool attribution_ok = true;  // must hold on every rep
+  double median_ratio = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    PhaseResult c = run_phase(params, false, "clean" + std::to_string(rep));
+    PhaseResult x = run_phase(params, true, "chaos" + std::to_string(rep));
+    const double ratio = c.goodput > 0 ? x.goodput / c.goodput : 0.0;
+    std::printf(
+        "goodput rep %d: clean %.0f steps/s (%.3fs), faulted-tenant phase "
+        "%.0f steps/s (%.3fs), ratio %.3f\n",
+        rep, c.goodput, c.makespan_s, x.goodput, x.makespan_s, ratio);
+    ratios.push_back(ratio);
+    attribution_ok = attribution_ok &&
+                     x.faulted_attributed == params.faulted_jobs &&
+                     x.faulted_other == 0 &&
+                     x.healthy_completed == x.healthy_total;
+    clean = std::move(c);
+    chaos = std::move(x);
+  }
+  {
+    std::vector<double> sorted = ratios;
+    std::sort(sorted.begin(), sorted.end());
+    median_ratio = sorted[sorted.size() / 2];
+  }
+  std::printf(
+      "isolation: median goodput ratio %.3f; faulted jobs attributed %d/%d, "
+      "healthy completed %d/%d, job-level failures absorbed %lld\n",
+      median_ratio, chaos.faulted_attributed, params.faulted_jobs,
+      chaos.healthy_completed, chaos.healthy_total, chaos.stats.job_failures);
+
+  // --- part 3: checkpoint-backed preemption --------------------------------
+  const PreemptResult pre = run_preempt_scenario(smoke ? 300 : 600);
+  std::printf(
+      "preemption: %s after %d tr%s (%d preemption(s), %d dispatches), "
+      "resumed fields %s baseline\n",
+      pre.happened ? "suspended+resumed" : "DID NOT TRIGGER", pre.tries,
+      pre.tries == 1 ? "y" : "ies", pre.preemptions, pre.dispatches,
+      pre.identical ? "bit-identical to" : "DIFFER from");
+
+  util::Table table({"tenant", "completed", "worker-seconds"});
+  table.set_title("Faulted-phase fair-share ledger");
+  for (const auto& [tenant, secs] : chaos.stats.tenant_worker_seconds) {
+    const auto it = chaos.stats.tenant_completed.find(tenant);
+    const long long done =
+        it == chaos.stats.tenant_completed.end() ? 0 : it->second;
+    table.add_row({tenant, std::to_string(done), util::Table::num(secs, 3)});
+  }
+  std::printf("\n%s\n", table.str().c_str());
+
+  // --- gates ---------------------------------------------------------------
+  int rc = 0;
+  if (smoke) {
+    if (median_ratio < 0.9) {
+      std::printf(
+          "FAIL: healthy-tenant goodput dropped more than 10%% with a "
+          "faulted tenant present (ratio %.3f)\n",
+          median_ratio);
+      rc = 1;
+    }
+    if (!attribution_ok) {
+      std::printf(
+          "FAIL: fault attribution (%d/%d attributed, %d other, healthy "
+          "%d/%d)\n",
+          chaos.faulted_attributed, params.faulted_jobs, chaos.faulted_other,
+          chaos.healthy_completed, chaos.healthy_total);
+      rc = 1;
+    }
+    if (!pre.happened || !pre.identical) {
+      std::printf("FAIL: preempt/resume (triggered=%d, bit-identical=%d)\n",
+                  int(pre.happened), int(pre.identical));
+      rc = 1;
+    }
+    if (rc == 0) std::printf("PASS\n");
+  }
+
+  FILE* out = std::fopen(json_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"bench\": \"service_study\",\n"
+      "  \"mode\": \"%s\",\n"
+      "  \"config\": {\"workers\": 6, \"tenant_quota\": 2, "
+      "\"healthy_tenants\": 2, \"jobs_per_tenant\": %d, \"faulted_jobs\": "
+      "%d, \"steps_per_job\": %d, \"reps\": %d},\n"
+      "  \"protocol\": \"per-job fault domains over run_with_recovery, "
+      "fair-share dispatch with tenant quotas, checkpoint-backed "
+      "preemption\",\n",
+      smoke ? "smoke" : "full", params.jobs_per_tenant, params.faulted_jobs,
+      params.nsteps, reps);
+  std::fprintf(out,
+               "  \"goodput\": {\"clean_steps_per_s\": %.1f, "
+               "\"faulted_phase_steps_per_s\": %.1f, \"median_ratio\": %.4f, "
+               "\"gate\": 0.9},\n",
+               clean.goodput, chaos.goodput, median_ratio);
+  std::fprintf(out,
+               "  \"attribution\": {\"faulted_jobs\": %d, \"attributed\": "
+               "%d, \"unattributed\": %d, \"healthy_completed\": %d, "
+               "\"healthy_total\": %d, \"job_failures_absorbed\": %lld, "
+               "\"job_restores\": %lld, \"mttr_seconds\": %.6f},\n",
+               params.faulted_jobs, chaos.faulted_attributed,
+               chaos.faulted_other, chaos.healthy_completed,
+               chaos.healthy_total, chaos.stats.job_failures,
+               chaos.stats.job_restores, chaos.stats.mttr_seconds());
+  std::fprintf(out,
+               "  \"preemption\": {\"triggered\": %s, \"bit_identical\": %s, "
+               "\"preemptions\": %d, \"dispatches\": %d, \"tries\": %d},\n",
+               pre.happened ? "true" : "false",
+               pre.identical ? "true" : "false", pre.preemptions,
+               pre.dispatches, pre.tries);
+  std::fprintf(out, "  \"faulted_phase_tenants\": [\n");
+  {
+    std::size_t i = 0;
+    for (const auto& [tenant, secs] : chaos.stats.tenant_worker_seconds) {
+      const auto it = chaos.stats.tenant_completed.find(tenant);
+      const long long done =
+          it == chaos.stats.tenant_completed.end() ? 0 : it->second;
+      std::fprintf(out,
+                   "    {\"tenant\": \"%s\", \"completed\": %lld, "
+                   "\"worker_seconds\": %.6f}%s\n",
+                   tenant.c_str(), done, secs,
+                   ++i < chaos.stats.tenant_worker_seconds.size() ? "," : "");
+    }
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("(json written to %s)\n", json_path.c_str());
+  return rc;
+}

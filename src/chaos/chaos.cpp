@@ -48,7 +48,9 @@ ChaosPolicy ChaosPolicy::for_seed(std::uint64_t seed, int nranks) {
 }
 
 ChaosEngine::ChaosEngine(ChaosPolicy policy, int nranks)
-    : policy_(std::move(policy)), ranks_(std::size_t(std::max(nranks, 1))) {}
+    : policy_(std::move(policy)), ranks_(std::size_t(std::max(nranks, 1))) {
+  kill_next_.store(policy_.kill_step, std::memory_order_relaxed);
+}
 
 double ChaosEngine::slowdown(int rank) const {
   if (rank < 0 || std::size_t(rank) >= policy_.rank_slowdown.size()) {
@@ -80,10 +82,23 @@ void ChaosEngine::on_rank_op(int rank, Hook hook) {
 
 void ChaosEngine::on_step(int rank, long long step) {
   if (rank != policy_.kill_rank || policy_.kill_step < 0) return;
-  if (step < policy_.kill_step) return;
-  // One-shot: exchange so exactly one step ever fires, across every
-  // recovery attempt sharing this engine.
-  if (kill_fired_.exchange(true, std::memory_order_acq_rel)) return;
+  long long next = kill_next_.load(std::memory_order_acquire);
+  if (next < 0 || step < next) return;
+  const long long fired = kill_fires_.load(std::memory_order_relaxed);
+  const long long bound = std::max(policy_.kill_max_count, 1);
+  // Re-arm at a strictly larger step (or disarm at the count bound / in
+  // one-shot mode): a recovery attempt replaying steps below the new
+  // target rides past its old kill point, so progress is guaranteed. The
+  // CAS keeps "exactly one fire per target" even across attempts sharing
+  // this engine.
+  const long long rearm = (policy_.kill_period > 0 && fired + 1 < bound)
+                              ? step + policy_.kill_period
+                              : -1;
+  if (!kill_next_.compare_exchange_strong(next, rearm,
+                                          std::memory_order_acq_rel)) {
+    return;
+  }
+  kill_fires_.fetch_add(1, std::memory_order_relaxed);
   throw ChaosAbortInjected::at_step(rank, step);
 }
 

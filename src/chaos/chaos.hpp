@@ -72,12 +72,23 @@ struct ChaosPolicy {
 
   /// Step-boundary kill: `kill_rank` throws ChaosAbortInjected from
   /// ChaosEngine::on_step() the first time it reaches step `kill_step`
-  /// (< 0 disables). Unlike abort_at_op this fault is ONE-SHOT across the
-  /// engine's lifetime, so a recovery re-run under the same engine rides
-  /// past the kill point and completes — the fault model of a node that
-  /// died once and was replaced.
+  /// (< 0 disables). Unlike abort_at_op this fault is by default ONE-SHOT
+  /// across the engine's lifetime, so a recovery re-run under the same
+  /// engine rides past the kill point and completes — the fault model of a
+  /// node that died once and was replaced.
   int kill_rank = -1;
   long long kill_step = -1;
+
+  /// Repeating kill: with kill_period > 0 the fault re-arms after each
+  /// fire at `fired_step + kill_period`, modeling a tenant whose node
+  /// keeps dying (the service bench's faulty-tenant scenario). At most
+  /// kill_max_count fires ever happen, and each fire requires reaching a
+  /// strictly larger step than the previous one — a recovery attempt that
+  /// replays rolled-back steps is never re-killed at the same point, so a
+  /// sufficiently retried job always makes progress. 0 keeps the
+  /// historical one-shot behavior.
+  long long kill_period = 0;
+  int kill_max_count = 1;
 
   /// Checkpoint-corruption fault: ChaosEngine::corrupt_checkpoint() answers
   /// true for (corrupt_rank, corrupt_epoch), telling the checkpoint
@@ -129,9 +140,16 @@ class ChaosEngine {
   void on_rank_op(int rank, Hook hook);
 
   /// Step-boundary hook, called by the driver's resilience hook after each
-  /// completed step. Throws ChaosAbortInjected once when `rank` reaches the
-  /// policy's kill point; one-shot, so a recovered re-run survives it.
+  /// completed step. Throws ChaosAbortInjected when `rank` reaches the
+  /// policy's next kill point; one-shot by default, re-arming every
+  /// kill_period steps (bounded by kill_max_count) when configured.
   void on_step(int rank, long long step);
+
+  /// Step-boundary kills fired so far (across every attempt sharing this
+  /// engine).
+  long long kill_fires() const {
+    return kill_fires_.load(std::memory_order_relaxed);
+  }
 
   /// Should the checkpoint coordinator corrupt `rank`'s just-written
   /// primary file for `epoch`? Pure decision — the coordinator does the
@@ -165,7 +183,10 @@ class ChaosEngine {
   };
   std::vector<RankState> ranks_;
   std::atomic<std::uint64_t> digest_{0};
-  std::atomic<bool> kill_fired_{false};
+  // Next step eligible to fire the kill fault (-1 = disarmed). Advanced
+  // past the firing step on every fire so replayed steps never re-fire.
+  std::atomic<long long> kill_next_{-1};
+  std::atomic<long long> kill_fires_{0};
 };
 
 }  // namespace cmtbone::chaos

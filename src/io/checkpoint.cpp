@@ -1,6 +1,7 @@
 #include "io/checkpoint.hpp"
 
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -154,12 +155,33 @@ CheckpointHeader parse_checkpoint(std::span<const std::byte> bytes,
   return header;
 }
 
+namespace {
+// Injected short-write threshold (set_write_failure_after); < 0 = off.
+std::atomic<long long> g_write_fail_after{-1};
+}  // namespace
+
+void set_write_failure_after(long long bytes) {
+  g_write_fail_after.store(bytes, std::memory_order_relaxed);
+}
+
 void write_file_atomic(const std::string& path,
                        std::span<const std::byte> bytes) {
   const std::string tmp = path + ".tmp";
   {
     File f(std::fopen(tmp.c_str(), "wb"));
     if (!f) fail(path, "cannot open " + tmp + " for writing");
+    const long long limit =
+        g_write_fail_after.load(std::memory_order_relaxed);
+    if (limit >= 0 && std::size_t(limit) < bytes.size()) {
+      // Simulated ENOSPC: part of the payload lands in the tmp file, then
+      // the device reports a short write. Follow the real short-write
+      // path: remove the staging file, never touch the published name.
+      (void)std::fwrite(bytes.data(), 1, std::size_t(limit), f.get());
+      f = File(nullptr);
+      std::remove(tmp.c_str());
+      fail(path, "write failed: short write (injected ENOSPC after " +
+                     std::to_string(limit) + " bytes)");
+    }
     if (!bytes.empty() &&
         std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
       std::remove(tmp.c_str());

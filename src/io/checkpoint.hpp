@@ -105,6 +105,13 @@ CheckpointHeader parse_checkpoint(std::span<const std::byte> bytes,
 void write_file_atomic(const std::string& path,
                        std::span<const std::byte> bytes);
 
+/// Testing hook: make write_file_atomic fail as a full device would after
+/// `bytes` payload bytes reached the tmp file (a short write / ENOSPC).
+/// The contract under that failure — clear error, tmp removed, the
+/// published file never touched — is what the error-path tests pin.
+/// Process-wide; < 0 disables (the default).
+void set_write_failure_after(long long bytes);
+
 /// Read a whole file into memory. Throws std::runtime_error on failure.
 std::vector<std::byte> read_file(const std::string& path);
 

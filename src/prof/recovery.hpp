@@ -24,6 +24,9 @@ struct RecoveryStats {
   double repair_seconds_sum = 0.0;  // failure observed -> state restored
 
   void reset();
+  /// Accumulate another run's stats into this one (the service scheduler
+  /// folds each dispatch's RecoveryReport into the job's lifetime totals).
+  void merge(const RecoveryStats& other);
 
   /// Mean per-survivor latency between a rank dying and a blocked peer
   /// observing it (0 when no failure was detected).

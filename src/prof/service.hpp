@@ -1,0 +1,49 @@
+#pragma once
+// Accounting for the simulation-as-a-service layer: the scheduler's live
+// queue/worker gauges, lifetime job counters, preemption traffic, and the
+// per-tenant worker-share ledger. bench/service_study reports these next to
+// the per-job latency percentiles; Scheduler::stats() returns a snapshot.
+
+#include <map>
+#include <string>
+
+namespace cmtbone::prof {
+
+struct ServiceStats {
+  // --- lifetime job counters ----------------------------------------------
+  long long submitted = 0;   // accepted into the queue
+  long long rejected = 0;    // refused at admission
+  long long completed = 0;   // reached nsteps
+  long long failed = 0;      // terminal failure (attributed in JobReport)
+  long long cancelled = 0;   // discarded by a non-draining shutdown
+
+  // --- scheduling traffic --------------------------------------------------
+  long long dispatches = 0;   // job launches, including resumes
+  long long preemptions = 0;  // checkpoint-backed suspensions
+  long long resumes = 0;      // re-dispatches of a preempted job
+
+  // --- fault-domain accounting (summed over every job's dispatches) -------
+  long long job_failures = 0;   // failed attempts retried inside a job
+  long long job_restores = 0;   // rollbacks that loaded a checkpoint
+  double repair_seconds_sum = 0.0;
+
+  // --- live gauges and high-water marks ------------------------------------
+  long long queue_depth = 0;    // queued + preempted-awaiting-resume
+  long long running_jobs = 0;
+  long long busy_workers = 0;   // rank slots currently dispatched
+  long long peak_queue_depth = 0;
+  long long peak_busy_workers = 0;
+
+  // --- fair-share ledger ----------------------------------------------------
+  // Worker-seconds consumed per tenant (ranks x dispatch wall time), the
+  // quantity fair-share scheduling balances.
+  std::map<std::string, double> tenant_worker_seconds;
+  std::map<std::string, long long> tenant_completed;
+
+  /// Mean time to repair across every job's recoveries (0 when none).
+  double mttr_seconds() const {
+    return job_restores > 0 ? repair_seconds_sum / double(job_restores) : 0.0;
+  }
+};
+
+}  // namespace cmtbone::prof

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "comm/runtime.hpp"
+#include "prof/timer.hpp"
 
 namespace cmtbone::resilience {
 
@@ -17,7 +18,29 @@ long long now_ns() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+// SplitMix64 finalizer (the same mixer the chaos engine uses): one draw per
+// (seed, attempt), so the jitter schedule is reproducible from the policy.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
 }  // namespace
+
+double jittered_backoff_ms(const RecoveryPolicy& policy, int attempt,
+                           double backoff_ms) {
+  const double jitter = std::clamp(policy.backoff_jitter, 0.0, 1.0);
+  if (jitter <= 0.0) return backoff_ms;
+  const std::uint64_t h =
+      mix64(policy.backoff_seed ^ mix64(std::uint64_t(attempt) +
+                                        0x9e3779b97f4a7c15ull));
+  const double unit = double(h >> 11) * 0x1.0p-53;  // [0, 1)
+  return backoff_ms * (1.0 - jitter * unit);
+}
 
 RecoveryReport run_with_recovery(int nranks, const core::Config& config,
                                  int nsteps, const RecoveryPolicy& policy,
@@ -42,6 +65,11 @@ RecoveryReport run_with_recovery(int nranks, const core::Config& config,
 
   long long pending_fail_ns = 0;
   double backoff_ms = policy.backoff_initial_ms;
+  // The deadline clock covers the whole supervised run: attempts, backoff
+  // sleeps, and restores all bill against it.
+  prof::WallTimer deadline_timer;
+  const bool watched =
+      bool(options.yield_requested) || options.deadline_seconds > 0.0;
 
   for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
     report.attempts += 1;
@@ -90,6 +118,43 @@ RecoveryReport run_with_recovery(int nranks, const core::Config& config,
               if (epoch >= 0 && world.rank() == 0) {
                 committed.store(std::max(committed.load(), epoch));
               }
+              // Cooperative preemption / deadline: rank 0 samples the
+              // flags, the allreduce makes the verdict identical on every
+              // rank, and the whole job acts on it together — a lone rank
+              // never unwinds while its peers post the next exchange.
+              // Skipped entirely (no extra collective) when unwatched, and
+              // at the final step, where finishing beats suspending.
+              if (watched && d.steps_taken() < nsteps) {
+                int want = 0;
+                if (world.rank() == 0) {
+                  if (options.yield_requested && options.yield_requested()) {
+                    want |= 1;
+                  }
+                  if (options.deadline_seconds > 0.0 &&
+                      deadline_timer.seconds() > options.deadline_seconds) {
+                    want |= 2;
+                  }
+                }
+                const int agreed =
+                    world.allreduce_one<int>(want, comm::ReduceOp::kMax);
+                if (agreed & 2) {
+                  throw DeadlineExceeded(options.deadline_seconds,
+                                         d.steps_taken());
+                }
+                if (agreed & 1) {
+                  // Suspend exactly at this boundary: commit the state
+                  // (unless this step already checkpointed) and unwind.
+                  long long suspend_epoch = epoch;
+                  if (suspend_epoch < 0) {
+                    suspend_epoch = coordinator.checkpoint_now(d);
+                  }
+                  if (world.rank() == 0) {
+                    committed.store(
+                        std::max(committed.load(), suspend_epoch));
+                  }
+                  throw JobPreempted(suspend_epoch);
+                }
+              }
             });
             if (options.on_final) options.on_final(driver, world);
           },
@@ -106,7 +171,24 @@ RecoveryReport run_with_recovery(int nranks, const core::Config& config,
       report.completed = true;
       report.failures = int(report.stats.failures);
       report.last_restored_epoch = restored.load();
+      report.steps_reached = progress.load();
       return report;
+    } catch (const JobPreempted& p) {
+      // Not a failure: the suspend checkpoint committed before the unwind,
+      // so a later call on the same directory resumes bit-identically.
+      const long long done = restore_done_ns.load();
+      if (pending_fail_ns != 0 && done > pending_fail_ns) {
+        report.stats.repair_seconds_sum +=
+            double(done - pending_fail_ns) * 1e-9;
+      }
+      report.preempted = true;
+      report.preempt_epoch = p.epoch;
+      report.failures = int(report.stats.failures);
+      report.last_restored_epoch = restored.load();
+      report.steps_reached = progress.load();
+      return report;
+    } catch (const DeadlineExceeded&) {
+      throw;  // terminal by design: a retry could not finish any sooner
     } catch (...) {
       const long long fail_ns = now_ns();
       report.stats.failures += 1;
@@ -123,8 +205,12 @@ RecoveryReport run_with_recovery(int nranks, const core::Config& config,
       }
       pending_fail_ns = fail_ns;
       if (attempt == policy.max_retries) throw;
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(backoff_ms));
+      if (options.deadline_seconds > 0.0 &&
+          deadline_timer.seconds() > options.deadline_seconds) {
+        throw DeadlineExceeded(options.deadline_seconds, progress.load());
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          jittered_backoff_ms(policy, attempt, backoff_ms)));
       backoff_ms =
           std::min(backoff_ms * policy.backoff_multiplier,
                    policy.backoff_max_ms);

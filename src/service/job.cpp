@@ -1,0 +1,23 @@
+#include "service/job.hpp"
+
+namespace cmtbone::service {
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kPreempted: return "preempted";
+    case JobState::kCompleted: return "completed";
+    case JobState::kFailed: return "failed";
+    case JobState::kRejected: return "rejected";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+bool job_state_terminal(JobState s) {
+  return s == JobState::kCompleted || s == JobState::kFailed ||
+         s == JobState::kRejected || s == JobState::kCancelled;
+}
+
+}  // namespace cmtbone::service

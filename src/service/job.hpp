@@ -1,0 +1,103 @@
+#pragma once
+// Simulation-as-a-service job front end: what a tenant submits (JobSpec),
+// the lifecycle a job moves through, and the report the service hands back.
+//
+// Job state machine (see DESIGN.md "Service layer"):
+//
+//   submit -> kQueued -> kRunning -> kCompleted
+//                |  ^        |   \-> kFailed      (attributed, terminal)
+//                |  |        \----> kPreempted -> kQueued (resume from disk)
+//                |  \---------------------/
+//                \-> kRejected  (admission control, terminal)
+//                \-> kCancelled (non-draining shutdown, terminal)
+//
+// Every terminal outcome — including a chaos-injected crash loop inside the
+// job — lands in that job's JobReport and nowhere else: one tenant's
+// failure is contained, attributed, and invisible to every other job except
+// through freed capacity.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "chaos/chaos.hpp"
+#include "comm/comm.hpp"
+#include "core/config.hpp"
+#include "core/driver.hpp"
+#include "prof/recovery.hpp"
+#include "resilience/recovery.hpp"
+
+namespace cmtbone::service {
+
+enum class JobState {
+  kQueued,     // admitted, waiting for workers
+  kRunning,    // dispatched under its own recovery supervisor
+  kPreempted,  // suspended to a coordinated checkpoint; back in the queue
+  kCompleted,  // reached nsteps (terminal)
+  kFailed,     // terminal failure, attributed in JobReport::error
+  kRejected,   // refused at admission (terminal)
+  kCancelled,  // discarded by a non-draining shutdown (terminal)
+};
+
+const char* job_state_name(JobState s);
+bool job_state_terminal(JobState s);
+
+/// One simulation job as a tenant describes it.
+struct JobSpec {
+  /// Accounting key for quotas and fair-share; jobs of one tenant share a
+  /// worker budget and a spot in the fair-share ledger.
+  std::string tenant = "default";
+  /// Higher runs first; a strictly higher priority may preempt lower ones
+  /// (checkpoint-backed, resumed later bit-identically).
+  int priority = 0;
+
+  core::Config config;
+  int nsteps = 1;
+  /// Worker slots this job occupies while running (= comm ranks).
+  int ranks = 1;
+
+  /// Per-job retry budget and backoff. The budget spans the job's whole
+  /// lifetime: retries consumed before a preemption stay consumed after
+  /// the resume. If backoff_jitter is left at 0 the scheduler applies its
+  /// own decorrelating default so co-failing jobs never retry in lockstep.
+  resilience::RecoveryPolicy retry;
+  /// Coordinated-checkpoint cadence (steps); also the preemption
+  /// granularity floor is one step regardless of this value.
+  int checkpoint_interval = 10;
+  /// Wall-clock budget across all of the job's dispatches (<= 0: none).
+  /// Exceeding it is a terminal, attributed failure — never retried.
+  double deadline_seconds = 0.0;
+
+  /// Per-job fault injection (tests and the service bench). The engine
+  /// must outlive the job; faults it injects are contained to this job.
+  chaos::ChaosEngine* chaos = nullptr;
+  /// Cold-start initial condition (default: the driver's default_ic()).
+  core::FieldFunction initial_condition;
+  /// Runs on every rank after the final step of the completing dispatch.
+  std::function<void(core::Driver&, comm::Comm&)> on_final;
+};
+
+/// Everything the service knows about one job, terminal or not.
+struct JobReport {
+  std::uint64_t id = 0;
+  std::string tenant;
+  int priority = 0;
+  JobState state = JobState::kQueued;
+  /// Failure attribution for kFailed/kRejected: the exception text of the
+  /// fault that ended the job (e.g. "chaos: forced abort injected at rank
+  /// 0, op 5" after the retry budget drained) or the admission verdict.
+  std::string error;
+
+  int dispatches = 0;    // launches, including resumes after preemption
+  int attempts = 0;      // comm::run launches, including in-job retries
+  int failures = 0;      // failed attempts absorbed by the job's supervisor
+  int preemptions = 0;   // checkpoint-backed suspensions
+  long long steps_done = 0;        // furthest step completed
+  long long last_restored_epoch = -1;
+
+  double queue_seconds = 0.0;  // submit -> dispatch, summed over waits
+  double run_seconds = 0.0;    // dispatch -> exit, summed over dispatches
+  prof::RecoveryStats stats;   // checkpoint/detection/repair, job lifetime
+};
+
+}  // namespace cmtbone::service

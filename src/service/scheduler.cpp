@@ -1,0 +1,524 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "prof/timer.hpp"
+
+namespace cmtbone::service {
+
+using clock_type = std::chrono::steady_clock;
+
+// Sync primitives plus every piece of mutable scheduler state, all guarded
+// by `mu`. Lives in a shared_ptr owned by the Scheduler and by every
+// JobRecord, so a JobHandle can lock and wait after the Scheduler is gone.
+struct Scheduler::Shared {
+  mutable std::mutex mu;
+  std::condition_variable sched_cv;  // wakes the scheduler loop
+  std::condition_variable user_cv;   // wakes JobHandle::wait()ers
+
+  prof::ServiceStats stats;
+  // Runnable jobs (kQueued and kPreempted) in submit/requeue order.
+  std::vector<std::shared_ptr<JobRecord>> queue;
+  std::vector<std::shared_ptr<JobRecord>> running;
+  // Finished dispatch threads, handed over for the loop thread to join. A
+  // dispatch thread moves its own std::thread handle here on exit so the
+  // record's `worker` slot is free for the next dispatch immediately.
+  std::vector<std::thread> reap;
+  std::map<std::string, int> tenant_workers;  // running rank slots
+  std::map<std::string, int> tenant_queued;
+  int free_workers = 0;
+  bool stopping = false;
+  bool drain = true;
+  std::uint64_t next_id = 1;
+};
+
+struct JobRecord {
+  std::shared_ptr<Scheduler::Shared> sh;
+
+  // Immutable after submit().
+  std::uint64_t id = 0;
+  JobSpec spec;
+  std::string dir;  // per-job checkpoint directory (empty when rejected)
+
+  // Guarded by sh->mu.
+  JobState state = JobState::kQueued;
+  std::string error;
+  bool preempt_requested = false;  // the scheduler's ledger of pending yields
+  int dispatches = 0;
+  int attempts = 0;
+  int failures = 0;
+  int preemptions = 0;
+  long long steps_done = 0;
+  long long last_restored_epoch = -1;
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+  clock_type::time_point queued_since{};
+  prof::RecoveryStats stats;
+
+  // Touched only by the scheduler loop thread (assignment in launch) and by
+  // the dispatch thread's final move into Shared::reap, which happen under
+  // sh->mu and never overlap.
+  std::thread worker;
+
+  // Written by the scheduler, read by the job's rank-0 step hook.
+  std::atomic<bool> preempt{false};
+};
+
+namespace {
+
+JobReport report_locked(const JobRecord& r) {
+  JobReport rep;
+  rep.id = r.id;
+  rep.tenant = r.spec.tenant;
+  rep.priority = r.spec.priority;
+  rep.state = r.state;
+  rep.error = r.error;
+  rep.dispatches = r.dispatches;
+  rep.attempts = r.attempts;
+  rep.failures = r.failures;
+  rep.preemptions = r.preemptions;
+  rep.steps_done = r.steps_done;
+  rep.last_restored_epoch = r.last_restored_epoch;
+  rep.queue_seconds = r.queue_seconds;
+  rep.run_seconds = r.run_seconds;
+  rep.stats = r.stats;
+  return rep;
+}
+
+[[noreturn]] void invalid_handle() {
+  throw std::logic_error("service: operation on an invalid JobHandle");
+}
+
+}  // namespace
+
+std::uint64_t JobHandle::id() const {
+  if (!rec_) invalid_handle();
+  return rec_->id;
+}
+
+JobState JobHandle::state() const {
+  if (!rec_) invalid_handle();
+  std::lock_guard<std::mutex> lk(rec_->sh->mu);
+  return rec_->state;
+}
+
+JobReport JobHandle::report() const {
+  if (!rec_) invalid_handle();
+  std::lock_guard<std::mutex> lk(rec_->sh->mu);
+  return report_locked(*rec_);
+}
+
+JobReport JobHandle::wait() const {
+  if (!rec_) invalid_handle();
+  std::unique_lock<std::mutex> lk(rec_->sh->mu);
+  rec_->sh->user_cv.wait(lk, [&] { return job_state_terminal(rec_->state); });
+  return report_locked(*rec_);
+}
+
+Scheduler::Scheduler(ServiceOptions options) : opt_(std::move(options)) {
+  if (opt_.checkpoint_root.empty()) {
+    throw std::invalid_argument("service: checkpoint_root is required");
+  }
+  if (opt_.total_workers < 1) {
+    throw std::invalid_argument("service: total_workers must be >= 1");
+  }
+  std::filesystem::create_directories(opt_.checkpoint_root);
+  sh_ = std::make_shared<Shared>();
+  sh_->free_workers = opt_.total_workers;
+  loop_ = std::thread([this] { loop(); });
+}
+
+Scheduler::~Scheduler() { shutdown(true); }
+
+JobHandle Scheduler::submit(JobSpec spec) {
+  auto rec = std::make_shared<JobRecord>();
+  rec->sh = sh_;
+  rec->spec = std::move(spec);
+  JobHandle h;
+  h.rec_ = rec;
+
+  std::lock_guard<std::mutex> lk(sh_->mu);
+  rec->id = sh_->next_id++;
+  const JobSpec& s = rec->spec;
+
+  std::string reject;
+  if (sh_->stopping) {
+    reject = "rejected: service is shutting down";
+  } else if (s.nsteps < 1) {
+    reject = "rejected: nsteps must be >= 1";
+  } else if (s.ranks < 1) {
+    reject = "rejected: ranks must be >= 1";
+  } else if (s.ranks > opt_.total_workers) {
+    reject = "rejected: ranks (" + std::to_string(s.ranks) +
+             ") exceeds the worker pool (" +
+             std::to_string(opt_.total_workers) + ")";
+  } else if (opt_.tenant_max_workers > 0 && s.ranks > opt_.tenant_max_workers) {
+    reject = "rejected: ranks (" + std::to_string(s.ranks) +
+             ") exceeds the tenant worker quota (" +
+             std::to_string(opt_.tenant_max_workers) + ")";
+  } else if (opt_.max_queued > 0 &&
+             (long long)(sh_->queue.size()) >= opt_.max_queued) {
+    reject = "rejected: queue full (" + std::to_string(opt_.max_queued) + ")";
+  } else if (opt_.tenant_max_queued > 0 &&
+             sh_->tenant_queued[s.tenant] >= opt_.tenant_max_queued) {
+    reject = "rejected: tenant queue full (" +
+             std::to_string(opt_.tenant_max_queued) + ")";
+  }
+  if (!reject.empty()) {
+    rec->state = JobState::kRejected;
+    rec->error = reject;
+    sh_->stats.rejected += 1;
+    return h;  // terminal handle; the job never enters the queue
+  }
+
+  rec->state = JobState::kQueued;
+  rec->queued_since = clock_type::now();
+  rec->dir = opt_.checkpoint_root + "/job" + std::to_string(rec->id);
+  sh_->queue.push_back(rec);
+  sh_->tenant_queued[s.tenant] += 1;
+  sh_->stats.submitted += 1;
+  sh_->stats.queue_depth += 1;
+  sh_->stats.peak_queue_depth =
+      std::max(sh_->stats.peak_queue_depth, sh_->stats.queue_depth);
+  sh_->sched_cv.notify_all();
+  return h;
+}
+
+void Scheduler::shutdown(bool drain) {
+  std::vector<std::string> dirs_to_remove;
+  {
+    std::lock_guard<std::mutex> lk(sh_->mu);
+    if (!sh_->stopping) {
+      sh_->stopping = true;
+      sh_->drain = drain;
+    } else if (!drain) {
+      sh_->drain = false;  // escalate an in-progress drain to a cancel
+    }
+    if (!sh_->drain) {
+      for (auto& rec : sh_->queue) {
+        rec->state = JobState::kCancelled;
+        rec->error = "cancelled: service shutdown";
+        sh_->stats.cancelled += 1;
+        sh_->stats.queue_depth -= 1;
+        sh_->tenant_queued[rec->spec.tenant] -= 1;
+        if (!opt_.keep_checkpoints && !rec->dir.empty()) {
+          dirs_to_remove.push_back(rec->dir);
+        }
+      }
+      sh_->queue.clear();
+      // Ask running jobs to yield at their next step boundary; their
+      // finish path converts the preemption into a cancellation.
+      for (auto& rec : sh_->running) {
+        rec->preempt.store(true, std::memory_order_relaxed);
+      }
+    }
+    sh_->sched_cv.notify_all();
+    sh_->user_cv.notify_all();
+  }
+  for (const std::string& d : dirs_to_remove) {
+    std::error_code ec;
+    std::filesystem::remove_all(d, ec);
+  }
+  if (loop_.joinable()) loop_.join();
+}
+
+prof::ServiceStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lk(sh_->mu);
+  return sh_->stats;
+}
+
+void Scheduler::loop() {
+  std::unique_lock<std::mutex> lk(sh_->mu);
+  for (;;) {
+    if (!sh_->reap.empty()) {
+      std::vector<std::thread> done = std::move(sh_->reap);
+      sh_->reap.clear();
+      lk.unlock();
+      for (std::thread& t : done) t.join();
+      lk.lock();
+      continue;  // state may have changed while unlocked
+    }
+    schedule_locked();
+    if (sh_->stopping && sh_->running.empty() && sh_->queue.empty() &&
+        sh_->reap.empty()) {
+      break;
+    }
+    sh_->sched_cv.wait(lk);
+  }
+}
+
+void Scheduler::schedule_locked() {
+  for (;;) {
+    const int i = pick_next_locked();
+    if (i < 0) break;
+    std::shared_ptr<JobRecord> rec = sh_->queue[size_t(i)];
+    sh_->queue.erase(sh_->queue.begin() + i);
+    launch_locked(rec);
+  }
+  if (opt_.preemption) maybe_preempt_locked();
+}
+
+int Scheduler::pick_next_locked() const {
+  auto tenant_running = [&](const std::string& t) {
+    const auto it = sh_->tenant_workers.find(t);
+    return it == sh_->tenant_workers.end() ? 0 : it->second;
+  };
+  auto tenant_seconds = [&](const std::string& t) {
+    const auto it = sh_->stats.tenant_worker_seconds.find(t);
+    return it == sh_->stats.tenant_worker_seconds.end() ? 0.0 : it->second;
+  };
+  // Fair-share order among runnable jobs: priority, then the tenant with
+  // the fewest running workers, then the tenant with the least historical
+  // worker-seconds, then submit order (queue position).
+  auto better = [&](const JobRecord& a, const JobRecord& b) {
+    if (a.spec.priority != b.spec.priority) {
+      return a.spec.priority > b.spec.priority;
+    }
+    const int wa = tenant_running(a.spec.tenant);
+    const int wb = tenant_running(b.spec.tenant);
+    if (wa != wb) return wa < wb;
+    const double sa = tenant_seconds(a.spec.tenant);
+    const double sb = tenant_seconds(b.spec.tenant);
+    if (sa != sb) return sa < sb;
+    return false;  // earlier queue position wins
+  };
+  int best = -1;
+  for (int i = 0; i < int(sh_->queue.size()); ++i) {
+    const JobRecord& r = *sh_->queue[size_t(i)];
+    if (r.spec.ranks > sh_->free_workers) continue;
+    if (opt_.tenant_max_workers > 0 &&
+        tenant_running(r.spec.tenant) + r.spec.ranks >
+            opt_.tenant_max_workers) {
+      continue;
+    }
+    if (best < 0 || better(r, *sh_->queue[size_t(best)])) best = i;
+  }
+  return best;
+}
+
+void Scheduler::maybe_preempt_locked() {
+  auto tenant_running = [&](const std::string& t) {
+    const auto it = sh_->tenant_workers.find(t);
+    return it == sh_->tenant_workers.end() ? 0 : it->second;
+  };
+  // The job preemption would serve: the highest-priority queued job that is
+  // blocked by capacity alone. A quota-blocked job waits for its own
+  // tenant's work to finish; evicting other tenants cannot help it.
+  const JobRecord* top = nullptr;
+  for (const auto& r : sh_->queue) {
+    if (opt_.tenant_max_workers > 0 &&
+        tenant_running(r->spec.tenant) + r->spec.ranks >
+            opt_.tenant_max_workers) {
+      continue;
+    }
+    if (top == nullptr || r->spec.priority > top->spec.priority) top = r.get();
+  }
+  if (top == nullptr) return;
+
+  // Slots already on the way: free ones plus pending yields.
+  int incoming = sh_->free_workers;
+  for (const auto& r : sh_->running) {
+    if (r->preempt_requested) incoming += r->spec.ranks;
+  }
+  if (incoming >= top->spec.ranks) return;
+
+  // Candidate victims: strictly lower priority, not already yielding.
+  // Evict the lowest priority first, newest job breaking ties, and only if
+  // the chosen set actually unblocks the top job.
+  std::vector<JobRecord*> victims;
+  for (const auto& r : sh_->running) {
+    if (r->spec.priority < top->spec.priority && !r->preempt_requested) {
+      victims.push_back(r.get());
+    }
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const JobRecord* a, const JobRecord* b) {
+              if (a->spec.priority != b->spec.priority) {
+                return a->spec.priority < b->spec.priority;
+              }
+              return a->id > b->id;
+            });
+  std::vector<JobRecord*> chosen;
+  int will_free = incoming;
+  for (JobRecord* v : victims) {
+    if (will_free >= top->spec.ranks) break;
+    chosen.push_back(v);
+    will_free += v->spec.ranks;
+  }
+  if (will_free < top->spec.ranks) return;
+  for (JobRecord* v : chosen) {
+    v->preempt_requested = true;
+    v->preempt.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Scheduler::launch_locked(const std::shared_ptr<JobRecord>& rec) {
+  const bool resume = rec->state == JobState::kPreempted;
+  rec->queue_seconds += std::chrono::duration<double>(clock_type::now() -
+                                                      rec->queued_since)
+                            .count();
+  rec->state = JobState::kRunning;
+  rec->preempt.store(false, std::memory_order_relaxed);
+  rec->preempt_requested = false;
+  rec->dispatches += 1;
+
+  sh_->free_workers -= rec->spec.ranks;
+  sh_->tenant_workers[rec->spec.tenant] += rec->spec.ranks;
+  sh_->tenant_queued[rec->spec.tenant] -= 1;
+  sh_->running.push_back(rec);
+
+  prof::ServiceStats& st = sh_->stats;
+  st.dispatches += 1;
+  if (resume) st.resumes += 1;
+  st.queue_depth -= 1;
+  st.running_jobs += 1;
+  st.busy_workers += rec->spec.ranks;
+  st.peak_busy_workers = std::max(st.peak_busy_workers, st.busy_workers);
+
+  rec->worker = std::thread([this, rec] { run_job(rec); });
+}
+
+void Scheduler::run_job(std::shared_ptr<JobRecord> rec) {
+  prof::WallTimer timer;
+  resilience::RecoveryReport rr;
+  std::string error;
+  bool preempted = false;
+  bool deadline_hit = false;
+
+  resilience::RecoveryPolicy pol = rec->spec.retry;
+  {
+    std::lock_guard<std::mutex> lk(sh_->mu);
+    // Decorrelate co-failing jobs' retry storms unless the spec pinned its
+    // own jitter schedule; the job id seeds a distinct jitter stream.
+    if (pol.backoff_jitter <= 0.0) {
+      pol.backoff_jitter = opt_.default_backoff_jitter;
+      if (pol.backoff_seed == 0) pol.backoff_seed = rec->id;
+    }
+    // The retry budget spans the job's lifetime: failures absorbed before a
+    // preemption stay spent after the resume.
+    pol.max_retries = std::max(0, pol.max_retries - rec->failures);
+  }
+
+  try {
+    std::filesystem::create_directories(rec->dir);
+    resilience::RecoveryOptions ro;
+    ro.checkpoint.directory = rec->dir;
+    ro.checkpoint.interval = rec->spec.checkpoint_interval;
+    ro.chaos = rec->spec.chaos;
+    ro.initial_condition = rec->spec.initial_condition;
+    ro.on_final = rec->spec.on_final;
+    ro.yield_requested = [r = rec.get()] {
+      return r->preempt.load(std::memory_order_relaxed);
+    };
+    if (rec->spec.deadline_seconds > 0.0) {
+      double consumed = 0.0;
+      {
+        std::lock_guard<std::mutex> lk(sh_->mu);
+        consumed = rec->run_seconds;
+      }
+      const double remaining = rec->spec.deadline_seconds - consumed;
+      if (remaining <= 0.0) {
+        throw resilience::DeadlineExceeded(rec->spec.deadline_seconds, 0);
+      }
+      ro.deadline_seconds = remaining;
+    }
+    rr = resilience::run_with_recovery(rec->spec.ranks, rec->spec.config,
+                                       rec->spec.nsteps, pol, std::move(ro));
+    preempted = rr.preempted;
+  } catch (const resilience::DeadlineExceeded& e) {
+    deadline_hit = true;
+    error = e.what();
+  } catch (const std::exception& e) {
+    error = e.what();
+  } catch (...) {
+    error = "unknown failure";
+  }
+  const double dur = timer.seconds();
+
+  std::string dir_to_remove;
+  {
+    std::lock_guard<std::mutex> lk(sh_->mu);
+    prof::ServiceStats& st = sh_->stats;
+    sh_->free_workers += rec->spec.ranks;
+    sh_->tenant_workers[rec->spec.tenant] -= rec->spec.ranks;
+    st.busy_workers -= rec->spec.ranks;
+    st.running_jobs -= 1;
+    st.tenant_worker_seconds[rec->spec.tenant] += rec->spec.ranks * dur;
+    rec->run_seconds += dur;
+
+    if (error.empty()) {
+      rec->attempts += rr.attempts;
+      rec->failures += rr.failures;
+      rec->steps_done = std::max(rec->steps_done, rr.steps_reached);
+      if (rr.last_restored_epoch >= 0) {
+        rec->last_restored_epoch = rr.last_restored_epoch;
+      }
+      rec->stats.merge(rr.stats);
+      st.job_failures += rr.failures;
+      st.job_restores += rr.stats.restores;
+      st.repair_seconds_sum += rr.stats.repair_seconds_sum;
+    } else if (deadline_hit) {
+      rec->attempts += 1;
+      rec->failures += 1;
+      st.job_failures += 1;
+    } else {
+      // The supervisor rethrew after burning the whole remaining budget;
+      // its report is lost with the throw, but the attempt count is known.
+      rec->attempts += pol.max_retries + 1;
+      rec->failures += pol.max_retries + 1;
+      st.job_failures += pol.max_retries + 1;
+    }
+
+    auto& run = sh_->running;
+    run.erase(std::find(run.begin(), run.end(), rec));
+
+    if (!error.empty()) {
+      rec->state = JobState::kFailed;
+      rec->error = error;
+      st.failed += 1;
+      if (!opt_.keep_checkpoints) dir_to_remove = rec->dir;
+    } else if (preempted) {
+      rec->preemptions += 1;
+      st.preemptions += 1;
+      if (sh_->stopping && !sh_->drain) {
+        rec->state = JobState::kCancelled;
+        rec->error = "cancelled: service shutdown";
+        st.cancelled += 1;
+        if (!opt_.keep_checkpoints) dir_to_remove = rec->dir;
+      } else {
+        rec->state = JobState::kPreempted;
+        rec->queued_since = clock_type::now();
+        sh_->queue.push_back(rec);
+        sh_->tenant_queued[rec->spec.tenant] += 1;
+        st.queue_depth += 1;
+        st.peak_queue_depth = std::max(st.peak_queue_depth, st.queue_depth);
+      }
+    } else {
+      rec->state = JobState::kCompleted;
+      st.completed += 1;
+      st.tenant_completed[rec->spec.tenant] += 1;
+      if (!opt_.keep_checkpoints) dir_to_remove = rec->dir;
+    }
+
+    // Hand this dispatch thread's own handle to the loop for joining; the
+    // record's worker slot is now free for a relaunch.
+    sh_->reap.push_back(std::move(rec->worker));
+    sh_->sched_cv.notify_all();
+    sh_->user_cv.notify_all();
+  }
+  if (!dir_to_remove.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_to_remove, ec);
+  }
+}
+
+}  // namespace cmtbone::service

@@ -1,0 +1,130 @@
+#pragma once
+// Multi-tenant job scheduler over the resilient runtime — the
+// simulation-as-a-service front end.
+//
+// The scheduler owns a budget of worker slots (one slot = one comm rank
+// thread) and moves submitted jobs through the state machine in job.hpp:
+//
+//   * Admission control: a job is REJECTED outright when it can never run
+//     (ranks > capacity) or when the queue — global or per-tenant — is
+//     full; otherwise it is QUEUED. Capacity or quota pressure never
+//     rejects, it queues: transient load is the service's normal state.
+//   * Fair-share dispatch: among runnable queued jobs the scheduler picks
+//     by priority first, then the tenant with the fewest running workers,
+//     then the tenant with the least worker-seconds consumed, then FIFO —
+//     so a tenant flooding the queue cannot starve the others.
+//   * Checkpoint-backed preemption: when a strictly higher-priority job is
+//     blocked only by capacity, the scheduler asks the lowest-priority
+//     running jobs to yield. A yielding job commits a coordinated
+//     checkpoint at its next step boundary, unwinds, re-enters the queue,
+//     and later resumes from disk — bit-identical to never having been
+//     suspended (the resilience layer's restore guarantee).
+//   * Per-job fault domains: every dispatch runs under its own
+//     resilience::run_with_recovery supervisor on its own comm universe,
+//     with a per-job retry budget, decorrelated backoff, and optional
+//     deadline. A chaos abort, rank kill, or checkpoint corruption inside
+//     one job is retried, and if the budget drains, attributed in that
+//     job's JobReport — the scheduler thread and every other job never see
+//     it except as freed capacity.
+//
+// Thread model: submit() may be called from any thread; one scheduler loop
+// thread makes every dispatch/preemption decision; each dispatched job runs
+// on its own supervisor thread (which spawns the job's rank threads via
+// comm::run). All bookkeeping lives under one mutex shared with the
+// JobHandles, which stay valid after the Scheduler is destroyed.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "prof/service.hpp"
+#include "service/job.hpp"
+
+namespace cmtbone::service {
+
+struct JobRecord;  // internal; defined in scheduler.cpp
+
+/// A tenant's view of one submitted job. Copyable; outlives the Scheduler.
+class JobHandle {
+ public:
+  JobHandle() = default;
+  bool valid() const { return rec_ != nullptr; }
+  std::uint64_t id() const;
+  JobState state() const;
+  /// Snapshot of the job's report so far (terminal or not).
+  JobReport report() const;
+  /// Block until the job reaches a terminal state; returns the report.
+  JobReport wait() const;
+
+ private:
+  friend class Scheduler;
+  std::shared_ptr<JobRecord> rec_;
+};
+
+struct ServiceOptions {
+  /// Worker-slot capacity: the sum of `ranks` over running jobs never
+  /// exceeds this.
+  int total_workers = 4;
+  /// Per-tenant cap on concurrently running workers (0 = no quota). Keeps
+  /// one tenant — healthy or crash-looping — from occupying the pool.
+  int tenant_max_workers = 0;
+  /// Queue-depth admission bounds (0 = unbounded): jobs beyond them are
+  /// rejected, not queued.
+  int max_queued = 0;
+  int tenant_max_queued = 0;
+  /// Allow checkpoint-backed preemption by strictly higher priorities.
+  bool preemption = true;
+  /// Root directory for per-job checkpoint subdirectories (required).
+  std::string checkpoint_root;
+  /// Keep terminal jobs' checkpoint directories (default: removed).
+  bool keep_checkpoints = false;
+  /// Decorrelating retry-backoff jitter applied to jobs whose
+  /// RecoveryPolicy left backoff_jitter at 0 (see recovery.hpp).
+  double default_backoff_jitter = 0.5;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(ServiceOptions options);
+  /// Drains: equivalent to shutdown(true).
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admission control + enqueue. Never throws on a bad spec: an
+  /// inadmissible job comes back as a terminal kRejected handle with the
+  /// verdict in report().error.
+  JobHandle submit(JobSpec spec);
+
+  /// Stop accepting work. drain=true runs every queued job to a terminal
+  /// state first; drain=false cancels the queue and asks running jobs to
+  /// yield at their next step boundary (they are then cancelled, their
+  /// checkpoints discarded). Idempotent; blocks until the loop exits.
+  void shutdown(bool drain = true);
+
+  /// Snapshot of the service metrics (gauges are live values).
+  prof::ServiceStats stats() const;
+
+  const ServiceOptions& options() const { return opt_; }
+
+ private:
+  struct Shared;
+  friend struct JobRecord;  // holds a shared_ptr<Shared> to outlive us
+  friend class JobHandle;
+
+  void loop();
+  // All _locked methods require sh_->mu.
+  void schedule_locked();
+  int pick_next_locked() const;
+  void maybe_preempt_locked();
+  void launch_locked(const std::shared_ptr<JobRecord>& rec);
+  void run_job(std::shared_ptr<JobRecord> rec);
+
+  ServiceOptions opt_;
+  std::shared_ptr<Shared> sh_;
+  std::thread loop_;
+};
+
+}  // namespace cmtbone::service

@@ -193,4 +193,82 @@ TEST(Chaos, JobAbortedMessageNamesBlockedReceive) {
   EXPECT_NE(captured.find("tag=7"), std::string::npos) << captured;
 }
 
+// ---- step-boundary kill semantics ------------------------------------------
+
+TEST(ChaosKillStep, OneShotByDefault) {
+  ChaosPolicy policy;
+  policy.kill_rank = 0;
+  policy.kill_step = 5;
+  ChaosEngine engine(policy, 2);
+  engine.on_step(0, 4);  // before the kill point: quiet
+  EXPECT_THROW(engine.on_step(0, 5), ChaosAbortInjected);
+  // The historical contract: one fire ever, so a recovery re-run under the
+  // same engine rides past the kill point.
+  engine.on_step(0, 5);
+  engine.on_step(0, 6);
+  engine.on_step(0, 100);
+  EXPECT_EQ(engine.kill_fires(), 1);
+}
+
+TEST(ChaosKillStep, OtherRankNeverFires) {
+  ChaosPolicy policy;
+  policy.kill_rank = 1;
+  policy.kill_step = 3;
+  ChaosEngine engine(policy, 2);
+  engine.on_step(0, 3);
+  engine.on_step(0, 4);
+  EXPECT_EQ(engine.kill_fires(), 0);
+  EXPECT_THROW(engine.on_step(1, 3), ChaosAbortInjected);
+}
+
+TEST(ChaosKillStep, PeriodicRearmNeverRefiresOnReplayedSteps) {
+  ChaosPolicy policy;
+  policy.kill_rank = 0;
+  policy.kill_step = 5;
+  policy.kill_period = 3;
+  policy.kill_max_count = 100;
+  ChaosEngine engine(policy, 1);
+  EXPECT_THROW(engine.on_step(0, 5), ChaosAbortInjected);
+  // A recovery attempt replays the rolled-back steps; the re-armed target
+  // is fired_step + period, strictly past the last fire, so the replay is
+  // never killed at the same point and the job always makes progress.
+  engine.on_step(0, 3);
+  engine.on_step(0, 4);
+  engine.on_step(0, 5);
+  engine.on_step(0, 6);
+  engine.on_step(0, 7);
+  EXPECT_EQ(engine.kill_fires(), 1);
+  EXPECT_THROW(engine.on_step(0, 8), ChaosAbortInjected);
+  EXPECT_EQ(engine.kill_fires(), 2);
+}
+
+TEST(ChaosKillStep, OvershootingTheTargetStillFires) {
+  // A replay that checkpoints past the armed step (e.g. restore lands at a
+  // later epoch) must still hit the fault at the next boundary reached.
+  ChaosPolicy policy;
+  policy.kill_rank = 0;
+  policy.kill_step = 5;
+  policy.kill_period = 2;
+  policy.kill_max_count = 100;
+  ChaosEngine engine(policy, 1);
+  EXPECT_THROW(engine.on_step(0, 9), ChaosAbortInjected);  // first reach >= 5
+  // Re-armed at 9 + 2 = 11, not at the stale 7.
+  engine.on_step(0, 10);
+  EXPECT_THROW(engine.on_step(0, 11), ChaosAbortInjected);
+  EXPECT_EQ(engine.kill_fires(), 2);
+}
+
+TEST(ChaosKillStep, MaxCountBoundsTheFires) {
+  ChaosPolicy policy;
+  policy.kill_rank = 0;
+  policy.kill_step = 2;
+  policy.kill_period = 1;
+  policy.kill_max_count = 2;
+  ChaosEngine engine(policy, 1);
+  EXPECT_THROW(engine.on_step(0, 2), ChaosAbortInjected);
+  EXPECT_THROW(engine.on_step(0, 3), ChaosAbortInjected);
+  for (long long s = 2; s < 50; ++s) engine.on_step(0, s);
+  EXPECT_EQ(engine.kill_fires(), 2);
+}
+
 }  // namespace

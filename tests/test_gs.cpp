@@ -524,6 +524,48 @@ TEST(GsModel, DriverFieldsBitIdenticalToForcedMethodAcrossRanksAndOverlap) {
   }
 }
 
+TEST(GsModel, ReselectionAfterApplyLayoutAgreesAcrossRanks) {
+  // Element migration rebuilds the topology, which re-runs the kModel
+  // selection against the *new* exchange shape. The selection must resolve
+  // to a concrete method and — because it feeds a collective exchange —
+  // every rank must land on the same one, before and after the migration.
+  CalibrationGuard cal(cmtbone::netmodel::qdr_infiniband());
+  constexpr int kRanks = 4;
+  std::vector<Method> before(kRanks, Method::kModel);
+  std::vector<Method> after(kRanks, Method::kModel);
+  cmtbone::comm::run(kRanks, [&](Comm& world) {
+    cmtbone::core::Config cfg;
+    cfg.n = 3;
+    cfg.ex = cfg.ey = cfg.ez = 2;
+    auto grid = cmtbone::mesh::BoxSpec::default_proc_grid(kRanks);
+    cfg.px = grid[0];
+    cfg.py = grid[1];
+    cfg.pz = grid[2];
+    cfg.gs_method = Method::kModel;
+    cfg.fixed_dt = 1e-3;
+    cmtbone::core::Driver driver(world, cfg);
+    driver.initialize(driver.default_ic());
+    driver.run(1);
+    before[world.rank()] = driver.gather_scatter().method();
+
+    // Rotate every element's owner by one rank: ownership changes for all
+    // gids but each rank keeps the same element count.
+    std::vector<int> owner = driver.element_layout().owner();
+    for (int& r : owner) r = (r + 1) % kRanks;
+    driver.apply_layout(owner);
+    after[world.rank()] = driver.gather_scatter().method();
+    driver.run(1);  // the re-selected handle must actually carry a step
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_NE(before[r], Method::kModel) << "rank " << r;
+    EXPECT_NE(before[r], Method::kAuto) << "rank " << r;
+    EXPECT_EQ(before[r], before[0]) << "rank " << r << " disagrees pre-move";
+    EXPECT_NE(after[r], Method::kModel) << "rank " << r;
+    EXPECT_NE(after[r], Method::kAuto) << "rank " << r;
+    EXPECT_EQ(after[r], after[0]) << "rank " << r << " disagrees post-move";
+  }
+}
+
 TEST(GsEdge, SingleRankHasNoSharersAndExecIsLocalOnly) {
   cmtbone::comm::run(1, [](Comm& world) {
     std::vector<long long> ids = {4, 4, 9};

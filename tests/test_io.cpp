@@ -3,9 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "comm/runtime.hpp"
 #include "core/driver.hpp"
@@ -232,6 +240,114 @@ TEST(DriverFlops, ModelScalesWithConfiguration) {
     EXPECT_EQ(d1.flops_per_step(), d1.flops_per_rhs());
     EXPECT_GT(d6.flops_per_rhs(), 0);
   });
+}
+
+// ---- write_file_atomic error paths -----------------------------------------
+//
+// The atomic-write contract under failure: the published name either keeps
+// its previous contents or does not exist — never a torn file — and the
+// .tmp staging file never lingers.
+
+std::vector<std::byte> test_payload(std::size_t n, unsigned char fill) {
+  return std::vector<std::byte>(n, std::byte{fill});
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// Resets the injected short-write threshold even when an assertion bails
+// out of the test early.
+struct ShortWriteGuard {
+  explicit ShortWriteGuard(long long bytes) {
+    cmtbone::io::set_write_failure_after(bytes);
+  }
+  ~ShortWriteGuard() { cmtbone::io::set_write_failure_after(-1); }
+};
+
+TEST_F(IoTest, AtomicWriteIntoMissingDirectoryFailsCleanly) {
+  const fs::path target = dir_ / "no_such_subdir" / "ckpt.bin";
+  const auto bytes = test_payload(64, 0xab);
+  EXPECT_THROW(cmtbone::io::write_file_atomic(target.string(), bytes),
+               std::runtime_error);
+  EXPECT_FALSE(fs::exists(target));
+  EXPECT_FALSE(fs::exists(target.string() + ".tmp"));
+}
+
+TEST_F(IoTest, AtomicWriteWithFileAsParentFailsCleanly) {
+  const fs::path blocker = dir_ / "not_a_dir";
+  { std::ofstream out(blocker); out << "occupied"; }
+  const fs::path target = blocker / "ckpt.bin";
+  const auto bytes = test_payload(64, 0xcd);
+  EXPECT_THROW(cmtbone::io::write_file_atomic(target.string(), bytes),
+               std::runtime_error);
+  EXPECT_EQ(slurp(blocker), "occupied");  // the blocking file is untouched
+}
+
+TEST_F(IoTest, AtomicWriteIntoUnwritableDirectoryFailsCleanly) {
+#ifndef _WIN32
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "root ignores directory write permissions";
+  }
+  const fs::path locked = dir_ / "locked";
+  fs::create_directories(locked);
+  fs::permissions(locked, fs::perms::owner_read | fs::perms::owner_exec);
+  const fs::path target = locked / "ckpt.bin";
+  const auto bytes = test_payload(64, 0x11);
+  EXPECT_THROW(cmtbone::io::write_file_atomic(target.string(), bytes),
+               std::runtime_error);
+  fs::permissions(locked, fs::perms::owner_all);
+  EXPECT_FALSE(fs::exists(target));
+  EXPECT_FALSE(fs::exists(target.string() + ".tmp"));
+#else
+  GTEST_SKIP() << "POSIX permission test";
+#endif
+}
+
+TEST_F(IoTest, InjectedShortWriteOnFreshPathLeavesNothingBehind) {
+  const fs::path target = dir_ / "fresh.bin";
+  const auto bytes = test_payload(256, 0x5a);
+  {
+    ShortWriteGuard enospc(32);  // device "fills up" after 32 bytes
+    EXPECT_THROW(cmtbone::io::write_file_atomic(target.string(), bytes),
+                 std::runtime_error);
+    EXPECT_FALSE(fs::exists(target));
+    EXPECT_FALSE(fs::exists(target.string() + ".tmp"));
+  }
+  // Space freed: the same write now succeeds end to end.
+  cmtbone::io::write_file_atomic(target.string(), bytes);
+  EXPECT_EQ(fs::file_size(target), bytes.size());
+}
+
+TEST_F(IoTest, InjectedShortWriteNeverTearsThePublishedFile) {
+  const fs::path target = dir_ / "published.bin";
+  const auto old_bytes = test_payload(128, 0x22);
+  cmtbone::io::write_file_atomic(target.string(), old_bytes);
+  const std::string before = slurp(target);
+
+  const auto new_bytes = test_payload(256, 0x77);
+  {
+    ShortWriteGuard enospc(200);  // fails mid-payload, past the old size
+    EXPECT_THROW(cmtbone::io::write_file_atomic(target.string(), new_bytes),
+                 std::runtime_error);
+  }
+  // The short write died in the staging file: the published name still
+  // carries the previous contents byte for byte, and no .tmp lingers.
+  EXPECT_EQ(slurp(target), before);
+  EXPECT_FALSE(fs::exists(target.string() + ".tmp"));
+
+  const std::string msg = [&] {
+    ShortWriteGuard enospc(200);
+    try {
+      cmtbone::io::write_file_atomic(target.string(), new_bytes);
+    } catch (const std::exception& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  }();
+  EXPECT_NE(msg.find("short write"), std::string::npos) << msg;
 }
 
 }  // namespace

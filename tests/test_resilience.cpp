@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -16,6 +17,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chaos/chaos.hpp"
@@ -645,6 +647,185 @@ TEST_F(ResilienceTest, RecoveryRequiresCheckpointDirectory) {
   RecoveryOptions options;  // no directory
   EXPECT_THROW(run_with_recovery(1, tiny_config(), 1, {}, options),
                std::invalid_argument);
+}
+
+// ---- decorrelated retry backoff --------------------------------------------
+
+TEST(JitteredBackoff, ZeroJitterKeepsTheExactSchedule) {
+  RecoveryPolicy policy;  // backoff_jitter defaults to 0
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_EQ(cmtbone::resilience::jittered_backoff_ms(policy, attempt, 8.0),
+              8.0);
+  }
+}
+
+TEST(JitteredBackoff, DrawsAreBoundedAndSeedDeterministic) {
+  RecoveryPolicy policy;
+  policy.backoff_jitter = 0.5;
+  policy.backoff_seed = 42;
+  bool saw_variation = false;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const double ms =
+        cmtbone::resilience::jittered_backoff_ms(policy, attempt, 10.0);
+    EXPECT_GE(ms, 5.0) << "attempt " << attempt;   // >= (1 - jitter) * base
+    EXPECT_LE(ms, 10.0) << "attempt " << attempt;  // never longer than base
+    EXPECT_EQ(ms,
+              cmtbone::resilience::jittered_backoff_ms(policy, attempt, 10.0))
+        << "attempt " << attempt;  // pure in (seed, attempt)
+    if (ms != 10.0) saw_variation = true;
+  }
+  EXPECT_TRUE(saw_variation);
+}
+
+TEST(JitteredBackoff, SeedsDecorrelateTheHerd) {
+  // Two jobs restarting off the same failure must not sleep in lockstep:
+  // distinct seeds must produce distinct schedules somewhere early.
+  RecoveryPolicy a, b;
+  a.backoff_jitter = b.backoff_jitter = 0.5;
+  a.backoff_seed = 1;
+  b.backoff_seed = 2;
+  bool differ = false;
+  for (int attempt = 0; attempt < 8 && !differ; ++attempt) {
+    differ = cmtbone::resilience::jittered_backoff_ms(a, attempt, 10.0) !=
+             cmtbone::resilience::jittered_backoff_ms(b, attempt, 10.0);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(JitteredBackoff, OutOfRangeJitterIsClamped) {
+  RecoveryPolicy policy;
+  policy.backoff_jitter = 7.0;  // clamped to 1: sleeps in [0, base]
+  policy.backoff_seed = 3;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const double ms =
+        cmtbone::resilience::jittered_backoff_ms(policy, attempt, 10.0);
+    EXPECT_GE(ms, 0.0);
+    EXPECT_LE(ms, 10.0);
+  }
+}
+
+// ---- checkpoint-ring pruning -----------------------------------------------
+
+TEST_F(ResilienceTest, PruneKeepsNewestIgnoresForeignAndStagingFiles) {
+  // Pre-seed the directory with what a prune scan can encounter: this
+  // rank's stale primaries (epochs 1..5), another job's/rank's files, and
+  // an in-progress atomic write's .tmp staging file. Content is irrelevant
+  // to pruning — it goes by names only and must only ever delete files
+  // this rank wrote.
+  const std::string prefix = "ckpt";
+  auto touch = [&](const std::string& name) {
+    std::ofstream out(dir_ / name, std::ios::binary);
+    out << "x";
+  };
+  for (long long e = 1; e <= 5; ++e) {
+    touch(fs::path(CheckpointCoordinator::primary_path(dir_.string(), prefix,
+                                                       e, 0))
+              .filename()
+              .string());
+  }
+  touch("ckpt.e000002.r00001.chk");       // foreign rank's primary
+  touch("ckpt.e000001.r00000.chk.tmp");   // concurrent writer's staging file
+  touch("other.e000001.r00000.chk");      // different prefix entirely
+
+  cmtbone::comm::run(1, [&](Comm& world) {
+    Driver driver(world, tiny_config());
+    driver.initialize(driver.default_ic());
+    driver.run(6);
+    CheckpointOptions opt;
+    opt.directory = dir_.string();
+    opt.prefix = prefix;
+    opt.interval = 0;  // explicit checkpoints only
+    opt.keep_epochs = 2;
+    CheckpointCoordinator coord(world, opt);
+    EXPECT_EQ(coord.checkpoint_now(driver), 6);
+  });
+
+  // Two newest epochs of this rank's primaries survive (5 and the fresh 6);
+  // everything older is gone; everything not ours is untouched.
+  auto exists = [&](const std::string& name) {
+    return fs::exists(dir_ / name);
+  };
+  for (long long e = 1; e <= 4; ++e) {
+    EXPECT_FALSE(fs::exists(
+        CheckpointCoordinator::primary_path(dir_.string(), prefix, e, 0)))
+        << "epoch " << e;
+  }
+  EXPECT_TRUE(fs::exists(
+      CheckpointCoordinator::primary_path(dir_.string(), prefix, 5, 0)));
+  EXPECT_TRUE(fs::exists(
+      CheckpointCoordinator::primary_path(dir_.string(), prefix, 6, 0)));
+  EXPECT_TRUE(exists("ckpt.e000002.r00001.chk"));
+  EXPECT_TRUE(exists("ckpt.e000001.r00000.chk.tmp"));
+  EXPECT_TRUE(exists("other.e000001.r00000.chk"));
+}
+
+TEST_F(ResilienceTest, PruneRacingAConcurrentWriterKeepsTheRingRestorable) {
+  // A second writer mutates the directory the whole time the coordinator
+  // checkpoints and prunes: publishing foreign-rank files via the same
+  // atomic tmp+rename path (so staging files appear and vanish mid-scan)
+  // and fsyncing its own churn. The prune must never touch the foreign
+  // files, never delete this rank's newest epochs, and leave the ring
+  // restorable when the dust settles.
+  const std::string prefix = "ckpt";
+  std::atomic<bool> stop{false};
+  std::atomic<int> foreign_published{0};
+  std::thread writer([&] {
+    const std::vector<std::byte> payload(128, std::byte{0x5c});
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string path = CheckpointCoordinator::primary_path(
+          dir_.string(), prefix, 1000 + i, /*rank=*/7);
+      cmtbone::io::write_file_atomic(path, payload);
+      foreign_published.fetch_add(1, std::memory_order_relaxed);
+      ++i;
+    }
+  });
+
+  const int steps = 30;
+  cmtbone::comm::run(1, [&](Comm& world) {
+    Driver driver(world, tiny_config());
+    driver.initialize(driver.default_ic());
+    CheckpointOptions opt;
+    opt.directory = dir_.string();
+    opt.prefix = prefix;
+    opt.interval = 1;  // checkpoint + prune at every step, maximal churn
+    opt.keep_epochs = 2;
+    CheckpointCoordinator coord(world, opt);
+    driver.run(steps, [&](Driver& d) { coord.maybe_checkpoint(d); });
+  });
+  stop.store(true);
+  writer.join();
+
+  // The ring: exactly the two newest epochs remain restorable...
+  int mine = 0;
+  for (long long e = 1; e <= steps; ++e) {
+    if (fs::exists(
+            CheckpointCoordinator::primary_path(dir_.string(), prefix, e, 0))) {
+      ++mine;
+      EXPECT_GE(e, steps - 1) << "stale epoch survived the prune";
+    }
+  }
+  EXPECT_EQ(mine, 2);
+  // ...and they genuinely restore to the newest epoch.
+  cmtbone::comm::run(1, [&](Comm& world) {
+    Driver driver(world, tiny_config());
+    CheckpointOptions opt;
+    opt.directory = dir_.string();
+    opt.prefix = prefix;
+    CheckpointCoordinator coord(world, opt);
+    EXPECT_EQ(coord.restore_latest(driver), steps);
+    EXPECT_EQ(driver.steps_taken(), steps);
+  });
+  // The concurrent writer lost nothing: every foreign file it published is
+  // still there (prune only deletes files this rank wrote).
+  int foreign = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().filename().string().find(".r00007.chk") !=
+        std::string::npos) {
+      ++foreign;
+    }
+  }
+  EXPECT_EQ(foreign, foreign_published.load());
 }
 
 }  // namespace
