@@ -81,14 +81,19 @@ struct RunResult {
   }
 };
 
+// Which physics system the study runs (--physics). The proxy default is
+// the mini-app; burgers/euler exercise the nonlinear flux + carrier paths.
+cmtbone::core::Physics g_physics = cmtbone::core::Physics::kProxyAdvection;
+
 Config base_config(int n, int e) {
   Config cfg;
+  cfg.physics = g_physics;
   cfg.n = n;
   cfg.ex = cfg.ey = cfg.ez = e;
   cfg.fixed_dt = 1e-3;
   cfg.particles_per_rank = 8;    // enables the tracker (uniform background)
   cfg.particle_coupling = 0.01;  // two-way deposit: particles touch the bits
-  return cfg;  // proxy physics: five linearly-advected fields, the mini-app
+  return cfg;
 }
 
 /// The bit-identity reference: static layout under the same key-canonical
@@ -342,6 +347,9 @@ int main(int argc, char** argv) {
                         "overhead scenario and --smoke)")
       .describe("particles", "cloud size for clustered/front (default 20000)")
       .describe("json", "output file (default BENCH_balance.json)")
+      .describe("physics",
+                "physics system: proxy|advection|burgers|euler "
+                "(default proxy)")
       .describe("smoke", "CI gate: clustered >= 1.3x modeled speedup with "
                          "bit-identical fields; single-rank overhead < 3%");
   if (cli.help_requested()) {
@@ -349,6 +357,11 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.reject_unknown();
+
+  if (!core::physics_from_name(cli.get("physics", "proxy"), &g_physics)) {
+    std::fprintf(stderr, "unknown --physics name\n");
+    return 1;
+  }
 
   const int reps = cli.get_int("reps", 3);
   if (cli.has("smoke")) return run_smoke(reps);
@@ -412,8 +425,7 @@ int main(int argc, char** argv) {
       out,
       "{\n"
       "  \"bench\": \"balance_study\",\n"
-      "  \"physics\": \"proxy-advection (5 fields) + two-way coupled "
-      "tracers\",\n"
+      "  \"physics\": \"%s + two-way coupled tracers\",\n"
       "  \"metric\": \"modeled time-to-solution: sum over steps of the "
       "per-step max-over-ranks busy thread-CPU seconds (grid + particle + "
       "rebalance overhead). Ranks are threads sharing this host's cores, "
@@ -430,8 +442,9 @@ int main(int argc, char** argv) {
       "\"static_wall_seconds\": %.6f, \"balanced_wall_seconds\": %.6f, "
       "\"wall_ratio\": %.4f},\n"
       "  \"results\": [\n",
-      reps, steps, ovh.static_busy, ovh.balanced_busy, ovh.busy_ratio(),
-      ovh.static_wall, ovh.balanced_wall, ovh.wall_ratio());
+      core::physics_name(g_physics), reps, steps, ovh.static_busy,
+      ovh.balanced_busy, ovh.busy_ratio(), ovh.static_wall, ovh.balanced_wall,
+      ovh.wall_ratio());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(

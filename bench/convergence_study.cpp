@@ -1,0 +1,228 @@
+// Convergence study: analytic-accuracy validation of the physics systems.
+//
+// The scenario pack (Burgers, Euler) exists so the proxy's communication
+// and kernel skeleton can be validated against real PDE solutions, not just
+// bit-identity invariants. This bench runs the three analytic checks and
+// reports observed convergence orders:
+//
+//   1. Linear advection (smooth translate): h-refinement at fixed N must
+//      show order ~N in the element size.
+//   2. Burgers before shock formation: exact solution from Newton on the
+//      characteristic equation; same order-~N expectation.
+//   3. Sod shock tube: L1 density error against the exact Riemann solution
+//      plus the star-region density plateau, and a positivity scan.
+//
+// With --smoke the bench exits nonzero when any gate fails (observed order
+// too low, Sod L1 too large, or a non-physical state), which is what the CI
+// scenario-smoke job runs.
+//
+// Usage: convergence_study [--smoke] [--json BENCH_convergence.json]
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "comm/runtime.hpp"
+#include "core/driver.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cmtbone;
+
+struct OrderRow {
+  std::string system;
+  int n = 0;
+  int elems_coarse = 0, elems_fine = 0;
+  double err_coarse = 0, err_fine = 0, order = 0;
+};
+
+// L-inf (advection) or L1 (Burgers) error against the system's exact
+// solution after `steps` fixed-dt steps on an e^3 (advection) or e x 1 x 1
+// (Burgers) grid.
+double run_error(const core::Config& cfg, int steps, bool l1) {
+  double err = 0.0;
+  comm::run(1, [&](comm::Comm& world) {
+    core::Driver driver(world, cfg);
+    driver.initialize(driver.default_ic());
+    driver.run(steps);
+    const auto exact = driver.system().exact_solution(driver.time());
+    err = l1 ? driver.l1_error(0, exact) : driver.linf_error(exact);
+  });
+  return err;
+}
+
+OrderRow observed_order(core::Physics physics, int n) {
+  OrderRow row;
+  row.system = core::physics_name(physics);
+  row.n = n;
+  const bool burgers = physics == core::Physics::kBurgers;
+  row.elems_coarse = 4;
+  row.elems_fine = 8;
+  double errs[2];
+  int idx = 0;
+  for (int e : {row.elems_coarse, row.elems_fine}) {
+    core::Config cfg;
+    cfg.physics = physics;
+    cfg.n = n;
+    cfg.use_dssum = false;  // pure DG
+    cfg.fixed_dt = 5e-4;
+    if (burgers) {
+      cfg.velocity = {1.0, 0.0, 0.0};
+      cfg.ex = e;
+      cfg.ey = cfg.ez = 1;
+    } else {
+      cfg.ex = cfg.ey = cfg.ez = e;
+    }
+    errs[idx++] = run_error(cfg, burgers ? 400 : 200, burgers);
+  }
+  row.err_coarse = errs[0];
+  row.err_fine = errs[1];
+  row.order = std::log2(errs[0] / errs[1]);
+  return row;
+}
+
+struct SodResult {
+  double t = 0;
+  double l1_rho = 0;
+  double plateau_rho = 0;  // sampled between contact and shock
+  double min_pressure = 0;
+};
+
+SodResult run_sod() {
+  SodResult result;
+  comm::run(1, [&](comm::Comm& world) {
+    core::Config cfg;
+    cfg.physics = core::Physics::kEuler;
+    cfg.euler_case = core::EulerCase::kSod;
+    cfg.periodic = false;
+    cfg.n = 2;
+    cfg.ex = 200;
+    cfg.ey = cfg.ez = 1;
+    cfg.cfl = 0.25;
+    cfg.use_dssum = false;
+    core::Driver driver(world, cfg);
+    driver.initialize(driver.default_ic());
+    while (driver.time() < 0.15) driver.step();
+    const double t = driver.time();
+    result.t = t;
+    result.l1_rho = driver.l1_error(0, driver.system().exact_solution(t));
+    const auto rho = driver.field(0);
+    const auto mx = driver.field(1);
+    const auto en = driver.field(4);
+    const double gamma = cfg.gamma;
+    double pmin = 1e300;
+    for (std::size_t p = 0; p < rho.size(); ++p) {
+      const double pr =
+          (gamma - 1.0) * (en[p] - 0.5 * mx[p] * mx[p] / rho[p]);
+      if (pr < pmin) pmin = pr;
+    }
+    result.min_pressure = pmin;
+    const int n = cfg.n;
+    for (int e = 0; e < driver.element_layout().nel(); ++e) {
+      const auto c = driver.node_coords(e, n / 2, 0, 0);
+      const double xi = (c[0] - 0.5) / t;
+      if (xi > 1.0 && xi < 1.5) {
+        result.plateau_rho = rho[std::size_t(e) * n * n * n + n / 2];
+        break;
+      }
+    }
+  });
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  cli.describe("smoke", "exit nonzero when a validation gate fails")
+      .describe("json", "output file (default BENCH_convergence.json)");
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  cli.reject_unknown();
+  const bool smoke = cli.has("smoke");
+  const std::string json_path = cli.get("json", "BENCH_convergence.json");
+
+  std::printf("=== CMT-bone convergence study ===\n\n");
+
+  std::vector<OrderRow> rows;
+  for (int n : {3, 4}) {
+    rows.push_back(observed_order(core::Physics::kAdvection, n));
+  }
+  rows.push_back(observed_order(core::Physics::kBurgers, 4));
+
+  util::Table table({"system", "N", "elems", "err coarse", "err fine",
+                     "observed order", "gate (> N-1)"});
+  table.set_title("h-convergence against analytic solutions (pure DG)");
+  bool ok = true;
+  for (const OrderRow& r : rows) {
+    const bool pass = r.order > double(r.n) - 1.0;
+    ok = ok && pass;
+    char elems[32];
+    std::snprintf(elems, sizeof elems, "%d -> %d", r.elems_coarse,
+                  r.elems_fine);
+    table.add_row({r.system, std::to_string(r.n), elems,
+                   util::Table::sci(r.err_coarse, 3),
+                   util::Table::sci(r.err_fine, 3),
+                   util::Table::num(r.order, 2), pass ? "pass" : "FAIL"});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  const SodResult sod = run_sod();
+  const bool sod_l1_ok = sod.l1_rho < 0.01;
+  const bool sod_plateau_ok = std::abs(sod.plateau_rho - 0.26557) < 0.02;
+  const bool sod_positive = sod.min_pressure > 0.0;
+  ok = ok && sod_l1_ok && sod_plateau_ok && sod_positive;
+  util::Table sod_table({"quantity", "value", "gate"});
+  sod_table.set_title("Sod shock tube vs exact Riemann (N=2, 200 elements, "
+                      "t=" + std::to_string(sod.t) + ")");
+  sod_table.add_row({"L1 density error", util::Table::sci(sod.l1_rho, 3),
+                     sod_l1_ok ? "pass (< 0.01)" : "FAIL (< 0.01)"});
+  sod_table.add_row({"star-region density", util::Table::num(sod.plateau_rho, 5),
+                     sod_plateau_ok ? "pass (0.26557 +- 0.02)"
+                                    : "FAIL (0.26557 +- 0.02)"});
+  sod_table.add_row({"min pressure", util::Table::sci(sod.min_pressure, 3),
+                     sod_positive ? "pass (> 0)" : "FAIL (> 0)"});
+  std::printf("%s\n", sod_table.str().c_str());
+
+  FILE* out = std::fopen(json_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"convergence_study\",\n"
+               "  \"orders\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const OrderRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"physics\": \"%s\", \"n\": %d, \"elems\": [%d, %d], "
+                 "\"err_coarse\": %.6e, \"err_fine\": %.6e, "
+                 "\"observed_order\": %.4f}%s\n",
+                 r.system.c_str(), r.n, r.elems_coarse, r.elems_fine,
+                 r.err_coarse, r.err_fine, r.order,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"sod\": {\"physics\": \"euler\", \"case\": \"sod\", "
+               "\"t\": %.6f, \"l1_rho\": %.6e, \"plateau_rho\": %.6f, "
+               "\"plateau_exact\": 0.26557, \"min_pressure\": %.6e},\n"
+               "  \"gates_passed\": %s\n"
+               "}\n",
+               sod.t, sod.l1_rho, sod.plateau_rho, sod.min_pressure,
+               ok ? "true" : "false");
+  std::fclose(out);
+  std::printf("(json written to %s)\n", json_path.c_str());
+
+  if (smoke && !ok) {
+    std::fprintf(stderr, "convergence_study: validation gate failed\n");
+    return 1;
+  }
+  return 0;
+}

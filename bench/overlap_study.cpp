@@ -42,12 +42,18 @@ struct RunResult {
   double imbalance = 1.0;       // max/mean busy thread-CPU time across ranks
 };
 
+// Which physics system the study runs (--physics). The proxy default is
+// the mini-app; burgers/euler exercise the nonlinear flux paths under the
+// same exchange machinery.
+cmtbone::core::Physics g_physics = cmtbone::core::Physics::kProxyAdvection;
+
 Config study_config(int n, int e) {
   Config cfg;
+  cfg.physics = g_physics;
   cfg.n = n;
   cfg.ex = cfg.ey = cfg.ez = e;
   cfg.fixed_dt = 1e-4;
-  return cfg;  // proxy physics: five linearly-advected fields, the mini-app
+  return cfg;
 }
 
 int elems_for(int n) {
@@ -152,6 +158,9 @@ int main(int argc, char** argv) {
       .describe("reps", "repetitions: best-of for the study (default 3), "
                         "median for --smoke (default 5)")
       .describe("json", "output file (default BENCH_overlap.json)")
+      .describe("physics",
+                "physics system: proxy|advection|burgers|euler "
+                "(default proxy)")
       .describe("smoke",
                 "CI gate: single-rank check that overlap costs < 5%");
   if (cli.help_requested()) {
@@ -159,6 +168,11 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.reject_unknown();
+
+  if (!core::physics_from_name(cli.get("physics", "proxy"), &g_physics)) {
+    std::fprintf(stderr, "unknown --physics name\n");
+    return 1;
+  }
 
   const int steps = cli.get_int("steps", 5);
   if (cli.has("smoke")) return run_smoke(steps, cli.get_int("reps", 5));
@@ -255,7 +269,7 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "{\n"
                "  \"bench\": \"overlap_study\",\n"
-               "  \"physics\": \"proxy-advection (5 fields)\",\n"
+               "  \"physics\": \"%s\",\n"
                "  \"timing\": \"rank-0 wall clock, best of %d runs of %d "
                "steps after one warm-up step\",\n"
                "  \"chaos_straggler\": \"sparse heavy delay jitter "
@@ -265,7 +279,7 @@ int main(int argc, char** argv) {
                "ranks (1.0 = perfectly balanced); see bench/balance_study "
                "for the dynamic balancer that drives it down\",\n"
                "  \"results\": [\n",
-               reps, steps);
+               core::physics_name(g_physics), reps, steps);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(out,

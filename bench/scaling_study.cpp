@@ -74,12 +74,21 @@ int main(int argc, char** argv) {
   cli.describe("max-ranks", "largest rank count (default 16)")
       .describe("n", "GLL points per direction (default 8)")
       .describe("steps", "timed steps per point (default 2)")
+      .describe("physics",
+                "physics system: proxy|advection|burgers|euler "
+                "(default proxy)")
       .describe("json", "output file (default BENCH_scaling.json)");
   if (cli.help_requested()) {
     std::printf("%s", cli.usage().c_str());
     return 0;
   }
   cli.reject_unknown();
+
+  core::Physics physics = core::Physics::kProxyAdvection;
+  if (!core::physics_from_name(cli.get("physics", "proxy"), &physics)) {
+    std::fprintf(stderr, "unknown --physics name\n");
+    return 1;
+  }
 
   const int max_ranks = cli.get_int("max-ranks", 16);
   const int n = cli.get_int("n", 8);
@@ -99,6 +108,7 @@ int main(int argc, char** argv) {
     for (int p = 1; p <= max_ranks; p *= 2) {
       auto grid = mesh::BoxSpec::default_proc_grid(p);
       core::Config cfg;
+      cfg.physics = physics;
       cfg.n = n;
       cfg.ex = 8;
       cfg.ey = 8;
@@ -138,6 +148,7 @@ int main(int argc, char** argv) {
     for (int p = 1; p <= max_ranks; p *= 2) {
       auto grid = mesh::BoxSpec::default_proc_grid(p);
       core::Config cfg;
+      cfg.physics = physics;
       cfg.n = n;
       cfg.px = grid[0];
       cfg.py = grid[1];
@@ -172,13 +183,14 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "{\n"
                "  \"bench\": \"scaling_study\",\n"
+               "  \"physics\": \"%s\",\n"
                "  \"n\": %d,\n"
                "  \"steps\": %d,\n"
                "  \"imbalance\": \"max/mean busy thread-CPU seconds across "
                "ranks over the timed steps (1.0 = perfectly balanced); the "
                "quantity the dynamic load balancer drives toward 1\",\n"
                "  \"results\": [\n",
-               n, steps);
+               core::physics_name(physics), n, steps);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(out,

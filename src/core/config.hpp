@@ -9,11 +9,13 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "balance/cost_model.hpp"
 #include "gs/gather_scatter.hpp"
 #include "kernels/dispatch.hpp"
 #include "kernels/gradient.hpp"
+#include "mesh/geometry.hpp"
 
 namespace cmtbone::core {
 
@@ -28,12 +30,33 @@ enum class Physics {
   /// One scalar field, genuine DG-SEM linear advection. Has an analytic
   /// solution (a translate of the initial condition) — the validation path.
   kAdvection,
+  /// Scalar Burgers: flux 0.5 * a_axis * u^2 with a = Config::velocity, the
+  /// simplest genuinely nonlinear hyperbolic system (wavespeed follows the
+  /// solution). Smooth pre-shock solutions are analytic via characteristics.
+  kBurgers,
   /// Compressible Euler with Rusanov numerical flux (the physics CMT-nek's
   /// explicit compressible solver steps, minus multiphase coupling).
   kEuler,
 };
 
 const char* physics_name(Physics p);
+/// Parse a physics_name() string; returns false on an unknown name.
+bool physics_from_name(const std::string& name, Physics* out);
+
+/// Which Euler scenario the system's initial condition / exact solution
+/// describe (the flux model is the same either way).
+enum class EulerCase {
+  /// Smooth density wave riding a uniform (velocity, pressure) background —
+  /// an entropy wave, whose exact solution is the translated initial
+  /// density. The historical default_ic.
+  kSmoothWave,
+  /// Sod's shock tube along x: (rho, p) = (1, 1) left of mid-domain,
+  /// (0.125, 0.1) right, fluid at rest. Exact solution from the 1-D Riemann
+  /// problem (rarefaction / contact / shock). Use with periodic = false.
+  kSod,
+};
+
+const char* euler_case_name(EulerCase c);
 
 /// Explicit time integrators. CMT-nek's explicit compressible solver uses a
 /// three-stage SSP Runge-Kutta; the others support temporal-order studies
@@ -63,6 +86,21 @@ struct Config {
   int ex = 8, ey = 8, ez = 8;  // global element grid
   int px = 0, py = 0, pz = 0;  // processor grid; 0 = derive from comm size
   bool periodic = true;
+
+  /// Physical geometry: one coordinate map per axis (mesh/geometry.hpp).
+  /// The default is the historical unit box split uniformly; non-uniform
+  /// maps (geometric / tanh stretching) and per-axis lengths (high-aspect
+  /// boxes) feed per-element extents into the SEM geometric factors and the
+  /// CFL dt. Topology (adjacency, partition, exchange plans) is unchanged.
+  std::array<mesh::AxisMap, 3> mesh_map = {};
+
+  bool uniform_mesh() const {
+    return mesh_map[0].uniform() && mesh_map[1].uniform() &&
+           mesh_map[2].uniform();
+  }
+  std::array<double, 3> domain_length() const {
+    return {mesh_map[0].length, mesh_map[1].length, mesh_map[2].length};
+  }
 
   Physics physics = Physics::kProxyAdvection;
   FaceBackend face_backend = FaceBackend::kDirect;
@@ -150,8 +188,13 @@ struct Config {
   double fixed_dt = 0.0;  // > 0 overrides the CFL computation
   std::array<double, 3> velocity = {1.0, 0.5, 0.25};  // advection speed
   double gamma = 1.4;                                  // Euler only
+  EulerCase euler_case = EulerCase::kSmoothWave;       // Euler scenario
 
-  int nfields() const { return physics == Physics::kAdvection ? 1 : 5; }
+  int nfields() const {
+    return physics == Physics::kAdvection || physics == Physics::kBurgers
+               ? 1
+               : 5;
+  }
 };
 
 }  // namespace cmtbone::core

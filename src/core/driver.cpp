@@ -26,7 +26,31 @@ const char* physics_name(Physics p) {
   switch (p) {
     case Physics::kProxyAdvection: return "proxy-advection";
     case Physics::kAdvection: return "advection";
+    case Physics::kBurgers: return "burgers";
     case Physics::kEuler: return "euler";
+  }
+  return "?";
+}
+
+bool physics_from_name(const std::string& name, Physics* out) {
+  if (name == "proxy") {  // CLI shorthand for the mini-app default
+    *out = Physics::kProxyAdvection;
+    return true;
+  }
+  for (Physics p : {Physics::kProxyAdvection, Physics::kAdvection,
+                    Physics::kBurgers, Physics::kEuler}) {
+    if (name == physics_name(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* euler_case_name(EulerCase c) {
+  switch (c) {
+    case EulerCase::kSmoothWave: return "smooth-wave";
+    case EulerCase::kSod: return "sod";
   }
   return "?";
 }
@@ -99,6 +123,7 @@ mesh::BoxSpec make_spec(const Config& cfg, int nranks) {
 Driver::Driver(comm::Comm& comm, const Config& config)
     : comm_(&comm),
       config_(config),
+      system_(make_system(config)),
       spec_(make_spec(config, comm.size())),
       part_(spec_, comm.rank()),
       layout_(mesh::ElementLayout::block(spec_, comm.rank())),
@@ -114,11 +139,35 @@ Driver::Driver(comm::Comm& comm, const Config& config)
   cm.particle_weight = config_.balance_particle_weight;
   cost_model_ = balance::CostModel(cm);
 
-  h_ = {1.0 / spec_.ex, 1.0 / spec_.ey, 1.0 / spec_.ez};
+  // Per-axis geometry. Uniform maps keep the historical constant-extent
+  // fast path (h_ only); stretched maps additionally tabulate per-slab
+  // widths and left edges.
+  uniform_mesh_ = config_.uniform_mesh();
+  h_ = {config_.mesh_map[0].length / spec_.ex,
+        config_.mesh_map[1].length / spec_.ey,
+        config_.mesh_map[2].length / spec_.ez};
+  if (!uniform_mesh_) {
+    const int counts[3] = {spec_.ex, spec_.ey, spec_.ez};
+    for (int axis = 0; axis < 3; ++axis) {
+      widths_[axis] = mesh::axis_widths(config_.mesh_map[axis], counts[axis]);
+      std::vector<double> bp =
+          mesh::axis_breakpoints(config_.mesh_map[axis], counts[axis]);
+      bp.pop_back();
+      offsets_[axis] = std::move(bp);
+    }
+  }
 
   rebuild_topology();
 
   if (config_.particles_per_rank > 0) {
+    // The tracker's locate/interpolate machinery assumes the historical
+    // uniform unit box; stretched or scaled scenarios run grid-only.
+    if (!uniform_mesh_ || config_.mesh_map[0].length != 1.0 ||
+        config_.mesh_map[1].length != 1.0 ||
+        config_.mesh_map[2].length != 1.0) {
+      throw std::invalid_argument(
+          "Driver: particles require the uniform unit-box mesh");
+    }
     tracker_ = std::make_unique<particles::Tracker>(comm, part_, ops_);
     tracker_->seed_random(config_.particles_per_rank, config_.particle_seed);
   }
@@ -156,6 +205,19 @@ void Driver::rebuild_topology() {
   all_elems_.resize(nel);
   std::iota(all_elems_.begin(), all_elems_.end(), 0);
 
+  // Per-local-element extents under a stretched map (layout-dependent, so
+  // rebuilt here). Uniform meshes keep elem_h_ empty and read h_.
+  elem_h_.clear();
+  if (!uniform_mesh_) {
+    elem_h_.resize(std::size_t(nel));
+    for (int e = 0; e < nel; ++e) {
+      const auto g = layout_.global_coords(e);
+      elem_h_[std::size_t(e)] = {widths_[0][std::size_t(g[0])],
+                                 widths_[1][std::size_t(g[1])],
+                                 widths_[2][std::size_t(g[2])]};
+    }
+  }
+
   // u_ carries state across a rebalance: migrate_fields() resized it to the
   // new layout before this runs. Everything else is per-step scratch.
   auto alloc_fields = [&](std::vector<std::vector<double>>& v) {
@@ -167,6 +229,9 @@ void Driver::rebuild_topology() {
   alloc_fields(rhs_);
   alloc_fields(flux_);
   grad_scratch_.assign(pts_, 0.0);
+  if (config_.particles_per_rank > 0) {
+    for (auto& buf : carrier_) buf.assign(pts_, 0.0);
+  }
   if (config_.fused_divergence) {
     for (auto& buf : flux_fused_) buf.assign(pts_, 0.0);
     // div3_dispatch scratch: two gradient blocks per element, indexed by
@@ -216,38 +281,19 @@ void Driver::rebuild_topology() {
 std::array<double, 3> Driver::node_coords(int e, int i, int j, int k) const {
   auto g = layout_.global_coords(e);
   const std::vector<double>& r = ops_.rule.nodes;
-  return {(g[0] + 0.5 * (r[i] + 1.0)) * h_[0],
-          (g[1] + 0.5 * (r[j] + 1.0)) * h_[1],
-          (g[2] + 0.5 * (r[k] + 1.0)) * h_[2]};
+  if (uniform_mesh_) {
+    return {(g[0] + 0.5 * (r[i] + 1.0)) * h_[0],
+            (g[1] + 0.5 * (r[j] + 1.0)) * h_[1],
+            (g[2] + 0.5 * (r[k] + 1.0)) * h_[2]};
+  }
+  const std::array<double, 3>& eh = elem_h_[std::size_t(e)];
+  return {offsets_[0][std::size_t(g[0])] + 0.5 * (r[i] + 1.0) * eh[0],
+          offsets_[1][std::size_t(g[1])] + 0.5 * (r[j] + 1.0) * eh[1],
+          offsets_[2][std::size_t(g[2])] + 0.5 * (r[k] + 1.0) * eh[2]};
 }
 
 FieldFunction Driver::default_ic() const {
-  // Smooth periodic profile; positive everywhere so it also serves as a
-  // density. For Euler the conserved fields are derived from (rho, v, p).
-  auto bump = [](double x, double y, double z) {
-    return 2.0 + std::sin(2.0 * M_PI * x) * std::sin(2.0 * M_PI * y) *
-                     std::sin(2.0 * M_PI * z);
-  };
-  if (config_.physics == Physics::kEuler) {
-    auto vel = config_.velocity;
-    double gamma = config_.gamma;
-    return [bump, vel, gamma](double x, double y, double z, int f) {
-      double rho = 1.0 + 0.2 * (bump(x, y, z) - 2.0);
-      double p = 1.0;
-      double kinetic =
-          0.5 * rho * (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]);
-      switch (f) {
-        case 0: return rho;
-        case 1: return rho * vel[0];
-        case 2: return rho * vel[1];
-        case 3: return rho * vel[2];
-        default: return p / (gamma - 1.0) + kinetic;
-      }
-    };
-  }
-  return [bump](double x, double y, double z, int f) {
-    return (f + 1) * bump(x, y, z);
-  };
+  return system_->initial_condition();
 }
 
 void Driver::initialize(const FieldFunction& ic) {
@@ -269,32 +315,51 @@ void Driver::initialize(const FieldFunction& ic) {
   steps_ = 0;
 }
 
-double Driver::local_max_wavespeed(int axis) const {
-  if (config_.physics != Physics::kEuler) {
-    return std::abs(config_.velocity[axis]);
-  }
-  double lambda = 0.0;
-  for (std::size_t p = 0; p < pts_; ++p) {
-    State5 s{u_[0][p], u_[1][p], u_[2][p], u_[3][p], u_[4][p]};
-    lambda = std::max(lambda, euler_wavespeed(s, axis, config_.gamma));
-  }
-  return lambda;
-}
-
 double Driver::compute_dt() {
   prof::ScopedRegion region("compute_dt");
-  if (config_.fixed_dt > 0.0) return config_.fixed_dt;
-  // Smallest GLL node spacing per direction, scaled to physical size.
+  // Nonlinear systems validate the state at every step boundary; a bad rank
+  // reports through the dt reduction (below) or, on the fixed-dt path, a
+  // dedicated flag reduction, so the throw is collective either way.
+  std::string why;
+  bool ok = true;
+  const double* uptr[kMaxFields];
+  const int nf = nfields();
+  for (int f = 0; f < nf; ++f) uptr[f] = u_[f].data();
+  if (system_->needs_admissibility_check()) {
+    ok = system_->admissible(uptr, 0, pts_, &why);
+  }
+  if (config_.fixed_dt > 0.0) {
+    if (system_->needs_admissibility_check()) {
+      const double bad =
+          comm_->allreduce_one(ok ? 0.0 : 1.0, comm::ReduceOp::kMax);
+      if (bad > 0.0) throw SolverDiverged(steps_, comm_->rank(), why);
+    }
+    return config_.fixed_dt;
+  }
+  // Smallest GLL node spacing per direction, scaled to each element's
+  // physical extent. (For uniform meshes min_e dx/lambda_e equals the
+  // historical dx / max_e lambda_e bit for bit — division by the larger
+  // wavespeed is the minimum — so this per-element form is not a behavior
+  // change there; it exists for stretched meshes, where a single per-axis
+  // h would let the thinnest layer violate the CFL bound.)
   const std::vector<double>& r = ops_.rule.nodes;
   const double dr_min = r[1] - r[0];
+  const std::size_t epts =
+      std::size_t(config_.n) * config_.n * config_.n;
   double dt = std::numeric_limits<double>::infinity();
   for (int axis = 0; axis < 3; ++axis) {
-    double lambda = local_max_wavespeed(axis);
-    double dx = 0.5 * dr_min * h_[axis];
-    if (lambda > 0.0) dt = std::min(dt, dx / lambda);
+    for (int e = 0; e < layout_.nel(); ++e) {
+      const std::size_t base = std::size_t(e) * epts;
+      const double lambda =
+          system_->max_wavespeed(uptr, base, base + epts, axis);
+      const double dx = 0.5 * dr_min * elem_h(e, axis);
+      if (lambda > 0.0) dt = std::min(dt, dx / lambda);
+    }
   }
+  if (!ok) dt = -1.0;  // sentinel: wins the min, every rank sees it
   // The per-step vector reduction of §VI.
   dt = comm_->allreduce_one(dt, comm::ReduceOp::kMin);
+  if (dt < 0.0) throw SolverDiverged(steps_, comm_->rank(), why);
   return config_.cfl * dt;
 }
 
@@ -428,17 +493,26 @@ void Driver::volume_term_range(const std::vector<std::vector<double>>& u,
                                std::size_t hi) {
   const int n = config_.n;
   const int nf = nfields();
-  const double gamma = config_.gamma;
   const std::size_t epts = std::size_t(n) * n * n;
+  const double* uptr[kMaxFields];
+  for (int f = 0; f < nf; ++f) uptr[f] = u[f].data();
+  double* fptr[kMaxFields];
+  for (int f = 0; f < nf; ++f) fptr[f] = flux_[f].data();
 
   // Process maximal runs of consecutive elements so the full list (the
   // blocking path) keeps its single bulk kernel call per direction and the
   // interior/boundary lists batch their x-rows. Per-element results do not
-  // depend on the batching — the kernels treat elements independently.
+  // depend on the batching — the kernels treat elements independently. On a
+  // stretched mesh a run also breaks where the element extents change,
+  // because the batched kernels take one scalar scale per axis.
   std::size_t i = lo;
   while (i < hi) {
     std::size_t j = i + 1;
-    while (j < hi && elems[j] == elems[j - 1] + 1) ++j;
+    while (j < hi && elems[j] == elems[j - 1] + 1 &&
+           (uniform_mesh_ || elem_h_[std::size_t(elems[j])] ==
+                                 elem_h_[std::size_t(elems[j - 1])])) {
+      ++j;
+    }
     // (runs never merge across chunk boundaries; per-element bits are
     // batching-invariant, so the split is harmless)
     const int e0 = elems[i];
@@ -446,6 +520,8 @@ void Driver::volume_term_range(const std::vector<std::vector<double>>& u,
     const std::size_t base = std::size_t(e0) * epts;
     const std::size_t cnt = std::size_t(m) * epts;
     i = j;
+    const std::array<double, 3> eh = {elem_h(e0, 0), elem_h(e0, 1),
+                                      elem_h(e0, 2)};
 
     if (config_.fused_divergence) {
       // Fused path: evaluate the three axis fluxes of one field, then a
@@ -454,26 +530,14 @@ void Driver::volume_term_range(const std::vector<std::vector<double>>& u,
       // pointwise redundancy for one output sweep instead of three.)
       for (int f = 0; f < nf; ++f) {
         for (int axis = 0; axis < 3; ++axis) {
-          std::vector<double>& dst = flux_fused_[axis];
-          if (config_.physics == Physics::kEuler) {
-            for (std::size_t p = base; p < base + cnt; ++p) {
-              State5 s{u[0][p], u[1][p], u[2][p], u[3][p], u[4][p]};
-              State5 fl = euler_flux(s, axis, gamma);
-              const double v[5] = {fl.rho, fl.mx, fl.my, fl.mz, fl.e};
-              dst[p] = v[f];
-            }
-          } else {
-            const double c = config_.velocity[axis];
-            for (std::size_t p = base; p < base + cnt; ++p) {
-              dst[p] = c * u[f][p];
-            }
-          }
+          system_->flux_range_field(uptr, flux_fused_[axis].data(), base,
+                                    base + cnt, axis, f);
         }
         kernels::div3_dispatch(ops_.d.data(), flux_fused_[0].data() + base,
                                flux_fused_[1].data() + base,
                                flux_fused_[2].data() + base,
-                               grad_scratch_.data() + base, n, m, 2.0 / h_[0],
-                               2.0 / h_[1], 2.0 / h_[2],
+                               grad_scratch_.data() + base, n, m, 2.0 / eh[0],
+                               2.0 / eh[1], 2.0 / eh[2],
                                div_work_.data() + 2 * base);
         for (std::size_t p = base; p < base + cnt; ++p) {
           rhs[f][p] -= grad_scratch_[p];
@@ -482,26 +546,9 @@ void Driver::volume_term_range(const std::vector<std::vector<double>>& u,
     } else {
       for (int axis = 0; axis < 3; ++axis) {
         // Pointwise axis flux of every field.
-        if (config_.physics == Physics::kEuler) {
-          for (std::size_t p = base; p < base + cnt; ++p) {
-            State5 s{u[0][p], u[1][p], u[2][p], u[3][p], u[4][p]};
-            State5 fl = euler_flux(s, axis, gamma);
-            flux_[0][p] = fl.rho;
-            flux_[1][p] = fl.mx;
-            flux_[2][p] = fl.my;
-            flux_[3][p] = fl.mz;
-            flux_[4][p] = fl.e;
-          }
-        } else {
-          const double c = config_.velocity[axis];
-          for (int f = 0; f < nf; ++f) {
-            for (std::size_t p = base; p < base + cnt; ++p) {
-              flux_[f][p] = c * u[f][p];
-            }
-          }
-        }
+        system_->flux_range(uptr, fptr, base, base + cnt, axis);
         // d(flux)/d(axis) with the selected loop-transformation variant.
-        const double scale = 2.0 / h_[axis];
+        const double scale = 2.0 / eh[axis];
         for (int f = 0; f < nf; ++f) {
           switch (axis) {
             case 0:
@@ -588,7 +635,6 @@ void Driver::surface_term_range(std::vector<std::vector<double>>& rhs,
                                 std::size_t hi) {
   const int n = config_.n;
   const int nf = nfields();
-  const double gamma = config_.gamma;
   const std::size_t fsz = mesh::face_array_size(n, layout_.nel());
   const std::vector<double>& w = ops_.rule.weights;
   const double w_edge = w[0];  // == w[n-1]
@@ -599,44 +645,31 @@ void Driver::surface_term_range(std::vector<std::vector<double>>& rhs,
     for (int face = 0; face < mesh::kFacesPerElement; ++face) {
       const int axis = mesh::face_axis(face);
       const double sign = mesh::face_side(face) == 0 ? -1.0 : 1.0;
-      const double lift = 2.0 / h_[axis] / w_edge;
+      const double lift = 2.0 / elem_h(e, axis) / w_edge;
       for (int b = 0; b < n; ++b) {
         for (int a = 0; a < n; ++a) {
           const std::size_t foff =
               mesh::face_offset(face, e, n) + a + std::size_t(n) * b;
           const std::size_t voff =
               e * elem + mesh::face_point_volume_index(face, a, b, n);
-          if (config_.physics == Physics::kEuler) {
-            State5 uin{myfaces_[foff], myfaces_[fsz + foff],
-                       myfaces_[2 * fsz + foff], myfaces_[3 * fsz + foff],
-                       myfaces_[4 * fsz + foff]};
-            State5 uout{nbrfaces_[foff], nbrfaces_[fsz + foff],
-                        nbrfaces_[2 * fsz + foff], nbrfaces_[3 * fsz + foff],
-                        nbrfaces_[4 * fsz + foff]};
-            State5 fin = euler_flux(uin, axis, gamma);
-            State5 fout = euler_flux(uout, axis, gamma);
-            double lambda = std::max(euler_wavespeed(uin, axis, gamma),
-                                     euler_wavespeed(uout, axis, gamma));
-            const double in[5] = {uin.rho, uin.mx, uin.my, uin.mz, uin.e};
-            const double out[5] = {uout.rho, uout.mx, uout.my, uout.mz,
-                                   uout.e};
-            const double fi[5] = {fin.rho, fin.mx, fin.my, fin.mz, fin.e};
-            const double fo[5] = {fout.rho, fout.mx, fout.my, fout.mz,
-                                  fout.e};
-            for (int f = 0; f < 5; ++f) {
-              double fstar =
-                  rusanov(fi[f], fo[f], in[f], out[f], lambda, sign);
-              rhs[f][voff] -= lift * sign * (fstar - fi[f]);
-            }
-          } else {
-            const double c = config_.velocity[axis];
-            const double lambda = std::abs(c);
-            for (int f = 0; f < nf; ++f) {
-              double uin = myfaces_[f * fsz + foff];
-              double uout = nbrfaces_[f * fsz + foff];
-              double fstar = rusanov(c * uin, c * uout, uin, uout, lambda, sign);
-              rhs[f][voff] -= lift * sign * (fstar - c * uin);
-            }
+          // Gather the two face states, evaluate the system's pointwise
+          // flux and signal speed, and lift the Rusanov correction. For
+          // both historical physics branches this performs the exact
+          // per-point operation sequence the hard-coded code did.
+          double uin[kMaxFields], uout[kMaxFields];
+          double fin[kMaxFields], fout[kMaxFields];
+          for (int f = 0; f < nf; ++f) {
+            uin[f] = myfaces_[f * fsz + foff];
+            uout[f] = nbrfaces_[f * fsz + foff];
+          }
+          system_->flux_point(uin, fin, axis);
+          system_->flux_point(uout, fout, axis);
+          const double lambda = std::max(system_->wavespeed_point(uin, axis),
+                                         system_->wavespeed_point(uout, axis));
+          for (int f = 0; f < nf; ++f) {
+            double fstar =
+                rusanov(fin[f], fout[f], uin[f], uout[f], lambda, sign);
+            rhs[f][voff] -= lift * sign * (fstar - fin[f]);
           }
         }
       }
@@ -735,19 +768,19 @@ void Driver::step() {
 void Driver::step_particles(double dt) {
   prof::ScopedRegion region("particle_tracking");
   prof::CpuTimer cost_timer;
-  if (config_.physics == Physics::kEuler) {
-    // Interpolate the carrier flow: v = momentum / density, computed
-    // pointwise into the stage scratch (free between steps).
-    for (int axis = 0; axis < 3; ++axis) {
-      for (std::size_t p = 0; p < pts_; ++p) {
-        u1_[axis][p] = u_[axis + 1][p] / u_[0][p];
-      }
-    }
-    tracker_->advance_interpolated(u1_[0].data(), u1_[1].data(),
-                                   u1_[2].data(), dt);
-  } else {
-    tracker_->advance(config_.velocity, dt);
-  }
+  // Every physics routes through the interpolated-field path: the system
+  // fills the pointwise carrier flow (Euler: momentum / density; linear
+  // advection: the constant transport velocity; Burgers: the local
+  // characteristic speed) and the tracker interpolates it at each particle.
+  // The historical shortcut of advancing non-Euler particles with the raw
+  // config velocity bypassed the interpolation machinery entirely, so those
+  // runs exercised a different (and unrepresentative) code path.
+  const double* uptr[kMaxFields];
+  for (int f = 0; f < nfields(); ++f) uptr[f] = u_[f].data();
+  system_->carrier_velocity(uptr, carrier_[0].data(), carrier_[1].data(),
+                            carrier_[2].data(), 0, pts_);
+  tracker_->advance_interpolated(carrier_[0].data(), carrier_[1].data(),
+                                 carrier_[2].data(), dt);
   tracker_->migrate();
   const double s = cost_timer.seconds();
   balance_window_.particle_seconds += s;
@@ -920,10 +953,12 @@ void Driver::export_vtk(const std::string& path) const {
 double Driver::l2_norm(int f) {
   const int n = config_.n;
   const std::vector<double>& w = ops_.rule.weights;
-  const double jac = 0.125 * h_[0] * h_[1] * h_[2];
   double sum = 0.0;
   std::size_t idx = 0;
   for (int e = 0; e < layout_.nel(); ++e) {
+    // Per-element Jacobian; on a uniform mesh this is the historical
+    // constant (same factors, same order), so the sum's bits are unchanged.
+    const double jac = 0.125 * elem_h(e, 0) * elem_h(e, 1) * elem_h(e, 2);
     for (int k = 0; k < n; ++k) {
       for (int j = 0; j < n; ++j) {
         for (int i = 0; i < n; ++i) {
@@ -940,14 +975,34 @@ double Driver::l2_norm(int f) {
 double Driver::integral(int f) {
   const int n = config_.n;
   const std::vector<double>& w = ops_.rule.weights;
-  const double jac = 0.125 * h_[0] * h_[1] * h_[2];
   double sum = 0.0;
   std::size_t idx = 0;
   for (int e = 0; e < layout_.nel(); ++e) {
+    const double jac = 0.125 * elem_h(e, 0) * elem_h(e, 1) * elem_h(e, 2);
     for (int k = 0; k < n; ++k) {
       for (int j = 0; j < n; ++j) {
         for (int i = 0; i < n; ++i) {
           sum += jac * w[i] * w[j] * w[k] * u_[f][idx++];
+        }
+      }
+    }
+  }
+  return comm_->allreduce_one(sum, comm::ReduceOp::kSum);
+}
+
+double Driver::l1_error(int f, const FieldFunction& exact) {
+  const int n = config_.n;
+  const std::vector<double>& w = ops_.rule.weights;
+  double sum = 0.0;
+  std::size_t idx = 0;
+  for (int e = 0; e < layout_.nel(); ++e) {
+    const double jac = 0.125 * elem_h(e, 0) * elem_h(e, 1) * elem_h(e, 2);
+    for (int k = 0; k < n; ++k) {
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < n; ++i) {
+          auto c = node_coords(e, i, j, k);
+          sum += jac * w[i] * w[j] * w[k] *
+                 std::abs(u_[f][idx++] - exact(c[0], c[1], c[2], f));
         }
       }
     }

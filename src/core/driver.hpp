@@ -11,9 +11,10 @@
 //   * SSP-RK3 time stepping with a per-step allreduce for the CFL dt
 //     (the "vector reductions" of §VI).
 //
-// Physics modes select the flux model (see core/config.hpp); the proxy mode
-// reproduces CMT-bone's abstraction, the advection mode is analytically
-// verifiable, the Euler mode exercises the full 5-field nonlinear path.
+// Physics modes select the HyperbolicSystem stepped (see core/system.hpp);
+// the proxy mode reproduces CMT-bone's abstraction, the advection and
+// Burgers modes are analytically verifiable, the Euler mode exercises the
+// full 5-field nonlinear path (smooth entropy wave or Sod's shock tube).
 
 #include <functional>
 #include <memory>
@@ -23,6 +24,7 @@
 #include "balance/cost_model.hpp"
 #include "comm/comm.hpp"
 #include "core/config.hpp"
+#include "core/system.hpp"
 #include "gs/gather_scatter.hpp"
 #include "io/checkpoint.hpp"
 #include "mesh/face_exchange.hpp"
@@ -34,9 +36,6 @@
 #include "sem/operators.hpp"
 
 namespace cmtbone::core {
-
-/// Initial/exact-solution callback: (x, y, z, field) -> value.
-using FieldFunction = std::function<double(double, double, double, int)>;
 
 class Driver {
  public:
@@ -61,7 +60,10 @@ class Driver {
   double time() const { return time_; }
   long steps_taken() const { return steps_; }
 
-  /// CFL-limited dt (collective: allreduce of the max wavespeed).
+  /// CFL-limited dt from the per-element metric spacing (collective: one
+  /// min-allreduce). Nonlinear systems fold their admissibility scan into
+  /// the same reduction (a diverged rank contributes a negative sentinel),
+  /// so every rank agrees and throws SolverDiverged together.
   double compute_dt();
 
   // --- field access and diagnostics --------------------------------------
@@ -78,6 +80,13 @@ class Driver {
   double integral(int f);
   /// Max-norm error of all fields vs a callback (collective).
   double linf_error(const FieldFunction& exact);
+  /// Quadrature-weighted L1 error of one field vs a callback (collective) —
+  /// the right norm for discontinuous profiles (Sod).
+  double l1_error(int f, const FieldFunction& exact);
+
+  /// The hyperbolic system this driver steps (flux model, analytic
+  /// solutions, admissibility).
+  const HyperbolicSystem& system() const { return *system_; }
 
   const mesh::Partition& partition() const { return part_; }
   /// Current element ownership (the block layout until a rebalance moves
@@ -197,7 +206,11 @@ class Driver {
   void step_rk4(double dt);
   void apply_dssum();
   void step_particles(double dt);
-  double local_max_wavespeed(int axis) const;
+  /// Physical extent of local element `e` along `axis` (the uniform h_ or
+  /// the element's slab width under a stretched map).
+  double elem_h(int e, int axis) const {
+    return elem_h_.empty() ? h_[axis] : elem_h_[std::size_t(e)][axis];
+  }
 
   /// Ordered (key-canonical) gs folds: explicit knob or implied by dynamic
   /// balancing, which needs layout-invariant reduction order.
@@ -215,6 +228,7 @@ class Driver {
 
   comm::Comm* comm_;
   Config config_;
+  std::unique_ptr<HyperbolicSystem> system_;
   mesh::BoxSpec spec_;
   mesh::Partition part_;
   mesh::ElementLayout layout_;
@@ -257,8 +271,20 @@ class Driver {
   std::vector<double> myfaces_, nbrfaces_;  // nfields stacked face arrays
   std::vector<double> dealias_fine_, dealias_back_, dealias_work_;
   double dealias_checksum_ = 0.0;
+  // Particle carrier velocity scratch (allocated only with a tracker); the
+  // system fills it pointwise and the tracker interpolates from it.
+  std::array<std::vector<double>, 3> carrier_;
 
-  std::array<double, 3> h_;  // element extents (unit box)
+  // Geometry. h_ is the uniform per-axis element extent (the historical
+  // unit-box fast path, still used verbatim when every axis map is
+  // uniform). Under stretched maps, widths_[axis][g] / offsets_[axis][g]
+  // hold the physical width and left edge of global slab g along `axis`,
+  // and elem_h_ caches the per-local-element extents (rebuilt with the
+  // layout; empty on uniform meshes).
+  std::array<double, 3> h_;
+  bool uniform_mesh_ = true;
+  std::array<std::vector<double>, 3> widths_, offsets_;
+  std::vector<std::array<double, 3>> elem_h_;
 };
 
 }  // namespace cmtbone::core

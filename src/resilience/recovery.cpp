@@ -189,6 +189,13 @@ RecoveryReport run_with_recovery(int nranks, const core::Config& config,
       return report;
     } catch (const DeadlineExceeded&) {
       throw;  // terminal by design: a retry could not finish any sooner
+    } catch (const core::SolverDiverged&) {
+      // Terminal too, but counted as a failure: the run is deterministic,
+      // so replaying from the last checkpoint reproduces the same
+      // non-physical state bit for bit — retrying cannot help. The caller
+      // (service layer) attributes the structured error to the job.
+      report.stats.failures += 1;
+      throw;
     } catch (...) {
       const long long fail_ns = now_ns();
       report.stats.failures += 1;

@@ -10,6 +10,7 @@
 
 #include "comm/runtime.hpp"
 #include "mesh/face_exchange.hpp"
+#include "mesh/geometry.hpp"
 #include "mesh/face_numbering.hpp"
 #include "mesh/faces.hpp"
 #include "mesh/numbering.hpp"
@@ -466,6 +467,72 @@ TEST(FaceExchange, ByteAccountingMatchesPlanes) {
     EXPECT_EQ(ex.send_bytes_per_exchange(1), expected);
     EXPECT_EQ(ex.remote_partner_count(), 2);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Axis coordinate maps (mesh/geometry.hpp)
+// ---------------------------------------------------------------------------
+
+TEST(AxisMap, UniformWidthsAreTheExactHistoricalConstant) {
+  cmtbone::mesh::AxisMap map;  // uniform, length 1
+  const auto w = cmtbone::mesh::axis_widths(map, 8);
+  ASSERT_EQ(w.size(), 8u);
+  for (double wi : w) {
+    // Bit-exact 1.0/8, not a breakpoint difference — the uniform fast path
+    // must reproduce the seed geometry exactly.
+    EXPECT_EQ(wi, 1.0 / 8);
+  }
+  EXPECT_EQ(cmtbone::mesh::min_axis_width(map, 8), 1.0 / 8);
+}
+
+TEST(AxisMap, BreakpointsSpanTheAxisAndIncrease) {
+  using cmtbone::mesh::AxisMap;
+  using cmtbone::mesh::AxisMapKind;
+  for (AxisMap map : {AxisMap{AxisMapKind::kUniform, 1.0, 2.5},
+                      AxisMap{AxisMapKind::kGeometric, 1.4, 2.5},
+                      AxisMap{AxisMapKind::kTanh, 2.0, 2.5}}) {
+    const auto x = cmtbone::mesh::axis_breakpoints(map, 6);
+    ASSERT_EQ(x.size(), 7u);
+    EXPECT_EQ(x.front(), 0.0);
+    EXPECT_EQ(x.back(), 2.5);
+    for (std::size_t i = 0; i + 1 < x.size(); ++i) EXPECT_LT(x[i], x[i + 1]);
+  }
+}
+
+TEST(AxisMap, GeometricWidthsFollowTheRatio) {
+  cmtbone::mesh::AxisMap map{cmtbone::mesh::AxisMapKind::kGeometric, 1.5, 1.0};
+  const auto w = cmtbone::mesh::axis_widths(map, 5);
+  for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+    EXPECT_NEAR(w[i + 1] / w[i], 1.5, 1e-12);
+  }
+  double sum = 0.0;
+  for (double wi : w) sum += wi;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(AxisMap, TanhClusteringIsSymmetricAndClustersTheEnds) {
+  cmtbone::mesh::AxisMap map{cmtbone::mesh::AxisMapKind::kTanh, 2.0, 1.0};
+  const auto w = cmtbone::mesh::axis_widths(map, 8);
+  for (std::size_t i = 0; i < w.size() / 2; ++i) {
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);  // symmetric
+  }
+  EXPECT_LT(w.front(), w[w.size() / 2]);  // ends thinner than the middle
+}
+
+TEST(AxisMap, InvalidParametersThrow) {
+  using cmtbone::mesh::AxisMap;
+  using cmtbone::mesh::AxisMapKind;
+  EXPECT_THROW(cmtbone::mesh::axis_breakpoints(AxisMap{}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(cmtbone::mesh::axis_breakpoints(
+                   AxisMap{AxisMapKind::kUniform, 1.0, -1.0}, 4),
+               std::invalid_argument);
+  EXPECT_THROW(cmtbone::mesh::axis_breakpoints(
+                   AxisMap{AxisMapKind::kGeometric, -0.5, 1.0}, 4),
+               std::invalid_argument);
+  EXPECT_THROW(cmtbone::mesh::axis_breakpoints(
+                   AxisMap{AxisMapKind::kTanh, 0.0, 1.0}, 4),
+               std::invalid_argument);
 }
 
 }  // namespace
